@@ -1,0 +1,164 @@
+// Command conjdetect screens a satellite population for conjunctions —
+// the end-user tool over the satconj library.
+//
+// Usage:
+//
+//	conjdetect -tle population.tle -variant hybrid -threshold 2 -duration 3600
+//	conjdetect -n 10000 -seed 1 -variant grid -duration 600 -gpu
+//	conjdetect -n 2000 -variant legacy -duration 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	satconj "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		tleFile   = flag.String("tle", "", "TLE catalogue to screen (otherwise a synthetic population is generated)")
+		n         = flag.Int("n", 2000, "synthetic population size when no -tle is given")
+		seed      = flag.Uint64("seed", 1, "synthetic population seed")
+		variant   = flag.String("variant", "hybrid", "screening variant: grid | hybrid | legacy")
+		threshold = flag.Float64("threshold", 2, "screening threshold d (km)")
+		duration  = flag.Float64("duration", 3600, "screening span (seconds)")
+		sps       = flag.Float64("sps", 0, "seconds per sample (0 = variant default)")
+		workers   = flag.Int("workers", 0, "CPU workers (0 = all)")
+		gpu       = flag.Bool("gpu", false, "run on the simulated RTX 3090 backend")
+		useJ2     = flag.Bool("j2", false, "propagate with the secular J2 perturbation")
+		eventsTol = flag.Float64("events-tol", 10, "merge window (s) for multi-step duplicates; 0 prints raw conjunctions")
+		maxPrint  = flag.Int("max-print", 50, "print at most this many conjunctions (0 = all)")
+		quiet     = flag.Bool("q", false, "suppress the conjunction listing, print only the summary")
+		cdmFile   = flag.String("cdm", "", "write CCSDS Conjunction Data Messages to this file ('-' = stdout)")
+		sigma     = flag.Float64("sigma", 0, "per-object position uncertainty (km); widens the screen and enables the Pc column")
+		hardBody  = flag.Float64("hard-body", 0.01, "combined hard-body radius (km) for the Pc column")
+	)
+	flag.Parse()
+
+	sats, err := loadPopulation(*tleFile, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conjdetect:", err)
+		os.Exit(1)
+	}
+
+	opts := satconj.Options{
+		Variant:          satconj.Variant(*variant),
+		ThresholdKm:      *threshold,
+		DurationSeconds:  *duration,
+		SecondsPerSample: *sps,
+		Workers:          *workers,
+		UseJ2:            *useJ2,
+	}
+	if *gpu {
+		opts.Device = satconj.SimulatedRTX3090()
+	}
+	if *sigma > 0 {
+		opts.Uncertainty = satconj.UniformUncertainty(*sigma)
+	}
+
+	start := time.Now()
+	res, err := satconj.Screen(sats, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conjdetect:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	conjs := res.Conjunctions
+	if *eventsTol > 0 {
+		conjs = res.Events(*eventsTol)
+	}
+
+	if *cdmFile != "" {
+		if err := writeCDMs(*cdmFile, conjs, sats, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "conjdetect:", err)
+			os.Exit(1)
+		}
+	}
+
+	if !*quiet {
+		cols := []string{"A", "B", "TCA [s]", "PCA [km]"}
+		if *sigma > 0 {
+			cols = append(cols, "Pc", "bucket")
+		}
+		tbl := report.NewTable(
+			fmt.Sprintf("Conjunctions (variant=%s backend=%s threshold=%.1f km span=%.0f s)",
+				res.Variant, res.Backend, *threshold, *duration),
+			cols...)
+		limit := len(conjs)
+		if *maxPrint > 0 && limit > *maxPrint {
+			limit = *maxPrint
+		}
+		for _, c := range conjs[:limit] {
+			row := []interface{}{int(c.A), int(c.B), fmt.Sprintf("%.2f", c.TCA), fmt.Sprintf("%.4f", c.PCA)}
+			if *sigma > 0 {
+				a, err := satconj.CollisionProbability(c, *sigma, *sigma, *hardBody)
+				if err == nil {
+					row = append(row, fmt.Sprintf("%.2e", a.Pc), a.Category)
+				} else {
+					row = append(row, "-", "-")
+				}
+			}
+			tbl.AddRow(row...)
+		}
+		_ = tbl.WriteASCII(os.Stdout)
+		if limit < len(conjs) {
+			fmt.Printf("… and %d more\n", len(conjs)-limit)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("objects:          %s\n", report.GroupThousands(fmt.Sprint(len(sats))))
+	fmt.Printf("conjunctions:     %s (raw %s, unique pairs %s)\n",
+		report.GroupThousands(fmt.Sprint(len(conjs))),
+		report.GroupThousands(fmt.Sprint(len(res.Conjunctions))),
+		report.GroupThousands(fmt.Sprint(res.UniquePairs())))
+	fmt.Printf("wall time:        %v\n", elapsed.Round(time.Millisecond))
+	st := res.Stats
+	if st.Total() > 0 {
+		fmt.Printf("phase breakdown:  INS %.0f%%  CD %.0f%%  coplanarity %.0f%%\n",
+			100*float64(st.Insertion)/float64(st.Total()),
+			100*float64(st.Detection)/float64(st.Total()),
+			100*float64(st.Coplanarity)/float64(st.Total()))
+	}
+	if st.CandidatePairs > 0 {
+		fmt.Printf("grid candidates:  %s (filter-rejected %s, refinements %s)\n",
+			report.GroupThousands(fmt.Sprint(st.CandidatePairs)),
+			report.GroupThousands(fmt.Sprint(st.FilterRejected)),
+			report.GroupThousands(fmt.Sprint(st.Refinements)))
+	}
+	if st.OutOfBounds > 0 {
+		fmt.Printf("out-of-cube samples: %d\n", st.OutOfBounds)
+	}
+}
+
+func writeCDMs(path string, conjs []satconj.Conjunction, sats []satconj.Satellite, opts satconj.Options) error {
+	var w *os.File
+	if path == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return satconj.WriteCDMs(w, conjs, sats, opts, time.Now().UTC(), "SATCONJ")
+}
+
+func loadPopulation(tleFile string, n int, seed uint64) ([]satconj.Satellite, error) {
+	if tleFile == "" {
+		return satconj.GeneratePopulation(satconj.PopulationConfig{N: n, Seed: seed})
+	}
+	f, err := os.Open(tleFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return satconj.LoadTLE(f)
+}

@@ -1,0 +1,49 @@
+// Command conjserver runs the conjunction-screening HTTP service.
+//
+// Usage:
+//
+//	conjserver -addr :8080 -max-objects 100000
+//
+// Endpoints:
+//
+//	GET  /v1/health   liveness
+//	GET  /v1/version  build/paper info
+//	POST /v1/screen   screen a population (JSON; see internal/httpapi)
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/screen -d '{
+//	  "generate": {"n": 5000, "seed": 1},
+//	  "variant": "hybrid",
+//	  "threshold_km": 10,
+//	  "duration_seconds": 3600,
+//	  "event_tol_seconds": 10
+//	}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxObjects = flag.Int("max-objects", 100000, "largest accepted population")
+	)
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(*maxObjects),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("conjserver %s listening on %s (max objects %d)", httpapi.Version, *addr, *maxObjects)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+
+	"repro/internal/report"
+)
+
+// fig1Row is one 5-year bucket of LEO payload launches by mission funding.
+type fig1Row struct {
+	period                              string
+	civil, defense, commercial, amateur int
+}
+
+// fig1Data is an illustrative reconstruction of the ESA environment-report
+// launch history behind Fig. 1 (payloads to 200–1750 km perigee, grouped in
+// 5-year buckets). Fig. 1 is a context figure, not an evaluation result;
+// the values below reproduce its well-known shape — steady cold-war defense
+// traffic, a 1990s commercial bump (first constellations), and the
+// explosive post-2015 commercial growth driven by mega-constellations.
+var fig1Data = []fig1Row{
+	{"1960-64", 40, 190, 0, 2},
+	{"1965-69", 60, 320, 2, 5},
+	{"1970-74", 70, 340, 4, 6},
+	{"1975-79", 80, 330, 6, 8},
+	{"1980-84", 90, 310, 8, 10},
+	{"1985-89", 95, 300, 12, 12},
+	{"1990-94", 110, 220, 40, 15},
+	{"1995-99", 120, 150, 180, 20},
+	{"2000-04", 100, 90, 60, 30},
+	{"2005-09", 110, 80, 70, 60},
+	{"2010-14", 160, 90, 150, 120},
+	{"2015-19", 280, 110, 900, 300},
+	{"2020-21", 180, 70, 1700, 160},
+}
+
+func runFig1(ctx *benchCtx) error {
+	t := report.NewTable(
+		"LEO payload launches by mission funding (illustrative reconstruction of Fig. 1; h_p 200–1750 km)",
+		"Period", "Civil", "Defense", "Commercial", "Amateur", "Total")
+	for _, r := range fig1Data {
+		t.AddRow(r.period, r.civil, r.defense, r.commercial, r.amateur,
+			r.civil+r.defense+r.commercial+r.amateur)
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+	// Bar rendering of the totals for the figure shape.
+	var fig report.Figure
+	fig.Title = "Total payloads per 5-year bucket"
+	fig.XLabel, fig.YLabel = "bucket", "payloads"
+	for i, r := range fig1Data {
+		fig.Add("total", float64(i), float64(r.civil+r.defense+r.commercial+r.amateur))
+	}
+	if ctx.csv {
+		return fig.WriteCSV(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Assessment: the full operator flow downstream of the screening phase
+// (§III) — screen a population, compute each event's collision probability
+// from the catalogue uncertainties, bucket the events by decision
+// threshold, and emit CCSDS Conjunction Data Messages for everything that
+// needs analyst attention.
+//
+// Run with:
+//
+//	go run ./examples/assessment
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	satconj "repro"
+)
+
+func main() {
+	sats, err := satconj.GeneratePopulation(satconj.PopulationConfig{N: 2500, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Screening: a 10 km rough threshold with 300 m per-object uncertainty
+	// (typical for radar-tracked LEO objects a day after the last pass).
+	const (
+		uncertaintyKm = 0.3
+		hardBodyKm    = 0.015 // two ~7.5 m envelopes
+	)
+	opts := satconj.Options{
+		ThresholdKm:     10,
+		DurationSeconds: 3 * 3600,
+		Uncertainty:     satconj.UniformUncertainty(uncertaintyKm),
+	}
+	res, err := satconj.Screen(sats, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := res.Events(10)
+	fmt.Printf("screened %d objects over 3 h: %d events below the rough threshold\n\n",
+		len(sats), len(events))
+
+	// Risk assessment per event.
+	type assessed struct {
+		c satconj.Conjunction
+		a satconj.RiskAssessment
+	}
+	var all []assessed
+	buckets := map[string]int{}
+	for _, c := range events {
+		a, err := satconj.CollisionProbability(c, uncertaintyKm, uncertaintyKm, hardBodyKm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, assessed{c, a})
+		buckets[a.Category]++
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].a.Pc > all[j].a.Pc })
+
+	fmt.Printf("decision buckets: mitigate %d, monitor %d, negligible %d\n\n",
+		buckets["mitigate"], buckets["monitor"], buckets["negligible"])
+	fmt.Println("highest-risk events:")
+	for i, e := range all {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d/%d: miss %7.3f km at t=%7.1fs → Pc %.2e (%s)\n",
+			e.c.A, e.c.B, e.c.PCA, e.c.TCA, e.a.Pc, e.a.Category)
+	}
+
+	// CDMs for everything above negligible go to the analysts.
+	var actionable []satconj.Conjunction
+	for _, e := range all {
+		if e.a.Category != "negligible" {
+			actionable = append(actionable, e.c)
+		}
+	}
+	if len(actionable) == 0 && len(all) > 0 {
+		// Quiet catalogue day: still hand over the single closest approach.
+		actionable = []satconj.Conjunction{all[0].c}
+	}
+	epoch := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	if err := satconj.WriteCDMs(os.Stdout, actionable, sats, opts, epoch, "SATCONJ-DEMO"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nemitted %d CDM(s) for downstream assessment\n", len(actionable))
+}

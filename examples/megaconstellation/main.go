@@ -1,0 +1,89 @@
+// Megaconstellation: screen a Starlink-like Walker shell against a
+// background debris population — the operational scenario motivating the
+// paper's introduction (§I): constellation operators must screen their
+// fleet against the catalogue continuously.
+//
+// Run with:
+//
+//	go run ./examples/megaconstellation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	satconj "repro"
+)
+
+func main() {
+	// A 72-plane × 22-satellite shell at 550 km / 53° — the Starlink
+	// first-shell geometry.
+	shell, err := satconj.GenerateWalker(satconj.WalkerConfig{
+		Planes:         72,
+		PerPlane:       22,
+		AltitudeKm:     550,
+		InclinationRad: 53 * math.Pi / 180,
+		PhasingSlots:   1,
+		FirstID:        0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Background: 3,000 catalogue-shaped objects (debris + other operators),
+	// numbered after the constellation.
+	background, err := satconj.GeneratePopulation(satconj.PopulationConfig{N: 3000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range background {
+		background[i].ID += int32(len(shell))
+		background[i].Precompute()
+	}
+	all := append(shell, background...)
+
+	res, err := satconj.Screen(all, satconj.Options{
+		Variant:         satconj.VariantGrid, // small cells: exact screening
+		ThresholdKm:     5,
+		DurationSeconds: 1800,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	constellationSize := int32(len(shell))
+	var intra, cross int
+	for _, c := range res.Events(10) {
+		aInShell := c.A < constellationSize
+		bInShell := c.B < constellationSize
+		switch {
+		case aInShell && bInShell:
+			intra++
+		case aInShell || bInShell:
+			cross++
+			fmt.Printf("ALERT constellation sat %d vs background object %d: PCA %.3f km at t=%.1fs\n",
+				min32(c.A, c.B), max32(c.A, c.B)-constellationSize, c.PCA, c.TCA)
+		}
+	}
+	fmt.Printf("\nscreened %d objects (%d constellation + %d background) over 30 min\n",
+		len(all), len(shell), len(background))
+	fmt.Printf("events below 5 km: %d constellation-internal, %d constellation-vs-background\n", intra, cross)
+	fmt.Printf("(internal events are the shell's own plane crossings — a Walker design keeps\n")
+	fmt.Printf(" them tightly phased rather than far apart, so a rough 5 km screen flags many;\n")
+	fmt.Printf(" the cross events against uncontrolled objects are what drive avoidance work)\n")
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

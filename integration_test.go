@@ -1,0 +1,88 @@
+package satconj
+
+// Four-variant cross-validation on a seeded random population: the
+// repository's top-level integration test. All deterministic variants must
+// agree on the set of conjunction pairs (the §V-D experiment as an
+// always-on test).
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllVariantsAgreeOnRandomPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant sweep is seconds-long; skipped with -short")
+	}
+	sats, err := GeneratePopulation(PopulationConfig{N: 1200, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		threshold = 10.0
+		span      = 1800.0
+	)
+	type variantEvents struct {
+		v      Variant
+		events []Conjunction
+		pairs  map[[2]int32]Conjunction
+	}
+	var outs []variantEvents
+	for _, v := range []Variant{VariantLegacy, VariantSieve, VariantGrid, VariantHybrid} {
+		res, err := Screen(sats, Options{Variant: v, ThresholdKm: threshold, DurationSeconds: span})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		ve := variantEvents{v: v, events: res.Events(10), pairs: map[[2]int32]Conjunction{}}
+		for _, c := range ve.events {
+			// Keep the deepest approach per pair for PCA comparison.
+			key := [2]int32{c.A, c.B}
+			if prev, ok := ve.pairs[key]; !ok || c.PCA < prev.PCA {
+				ve.pairs[key] = c
+			}
+		}
+		outs = append(outs, ve)
+		t.Logf("%-7s %d events, %d pairs", v, len(ve.events), len(ve.pairs))
+	}
+	if len(outs[0].pairs) == 0 {
+		t.Fatal("population produced no events; test is vacuous")
+	}
+
+	// The spatial variants and the sieve must agree exactly with each
+	// other; legacy may miss borderline events (its window scan is the
+	// coarsest) but must never report something the others lack.
+	ref := outs[2]                                        // grid
+	for _, o := range []variantEvents{outs[1], outs[3]} { // sieve, hybrid
+		if len(o.pairs) != len(ref.pairs) {
+			t.Errorf("%s found %d pairs, grid found %d", o.v, len(o.pairs), len(ref.pairs))
+		}
+		for key, rc := range ref.pairs {
+			oc, ok := o.pairs[key]
+			if !ok {
+				t.Errorf("%s missed grid pair %v", o.v, key)
+				continue
+			}
+			if math.Abs(oc.TCA-rc.TCA) > 3 {
+				t.Errorf("%s pair %v TCA %v vs grid %v", o.v, key, oc.TCA, rc.TCA)
+			}
+			if math.Abs(oc.PCA-rc.PCA) > 0.05 {
+				t.Errorf("%s pair %v PCA %v vs grid %v", o.v, key, oc.PCA, rc.PCA)
+			}
+		}
+	}
+	legacy := outs[0]
+	for key := range legacy.pairs {
+		if _, ok := ref.pairs[key]; !ok {
+			t.Errorf("legacy reported pair %v that the grid lacks", key)
+		}
+	}
+	missed := 0
+	for key := range ref.pairs {
+		if _, ok := legacy.pairs[key]; !ok {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(ref.pairs)); frac > 0.1 {
+		t.Errorf("legacy missed %d/%d grid pairs (>10%%)", missed, len(ref.pairs))
+	}
+}

@@ -1,0 +1,174 @@
+// Package brent implements Brent's method for one-dimensional function
+// minimisation (Brent, "Algorithms for Minimization without Derivatives",
+// 1973; the variant popularised by Numerical Recipes), combining the
+// reliability of golden-section search with the speed of successive
+// parabolic interpolation.
+//
+// The paper uses Boost's brent_find_minima to refine every candidate
+// satellite pair into its point and time of closest approach (PCA/TCA);
+// this package is the from-scratch replacement. A plain golden-section
+// minimiser is also exported as a slower reference implementation for
+// differential testing.
+package brent
+
+import (
+	"errors"
+	"math"
+)
+
+// golden is the golden-section ratio (3 - √5)/2 ≈ 0.381966.
+var golden = 0.5 * (3 - math.Sqrt(5))
+
+// ErrMaxIter is returned when the iteration budget is exhausted before the
+// bracketing interval shrinks below the requested tolerance. The best point
+// found so far is still returned alongside the error.
+var ErrMaxIter = errors.New("brent: maximum iterations reached")
+
+// Result holds the outcome of a minimisation.
+type Result struct {
+	X     float64 // abscissa of the located minimum
+	F     float64 // function value at X
+	Iters int     // iterations performed
+}
+
+// Minimize locates a local minimum of f inside [a, b] to absolute abscissa
+// tolerance tol using Brent's method. It evaluates f only inside [a, b].
+// maxIter bounds the iteration count; 0 selects a default of 100.
+//
+// tol should not be set below √ε·|x| — the method cannot do better than
+// that because the function is locally parabolic around the minimum.
+func Minimize(f func(float64) float64, a, b, tol float64, maxIter int) (Result, error) {
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+
+	// x: best point; w: second best; v: previous w; u: latest evaluation.
+	x := a + golden*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+
+	var d, e float64 // step taken this iteration, and the one before last
+
+	for iter := 1; iter <= maxIter; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + tinyEps
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			return Result{X: x, F: fx, Iters: iter}, nil
+		}
+
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Fit a parabola through (x,fx), (w,fw), (v,fv).
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			eTmp := e
+			e = d
+			// Accept the parabolic step only if it falls within the
+			// bracket and represents real progress relative to the step
+			// before last.
+			if math.Abs(p) < math.Abs(0.5*q*eTmp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				// f must not be evaluated too close to a or b.
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = golden * e
+		}
+
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, w = w, u
+				fv, fw = fw, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return Result{X: x, F: fx, Iters: maxIter}, ErrMaxIter
+}
+
+// tinyEps guards tol1 against vanishing when x ≈ 0.
+const tinyEps = 1e-21
+
+// GoldenSection locates a local minimum of f in [a, b] by pure golden-section
+// search. It is linearly convergent and exists as a reference oracle for
+// Minimize and for callers that prefer bulletproof behaviour over speed.
+func GoldenSection(f func(float64) float64, a, b, tol float64, maxIter int) (Result, error) {
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	invPhi := (math.Sqrt(5) - 1) / 2 // 1/φ
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	iters := 0
+	for b-a > tol && iters < maxIter {
+		iters++
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x := 0.5 * (a + b)
+	res := Result{X: x, F: f(x), Iters: iters}
+	if b-a > tol {
+		return res, ErrMaxIter
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package brent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	res, err := Minimize(f, -10, 10, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-3) > 1e-7 {
+		t.Errorf("X = %v, want 3", res.X)
+	}
+	if res.F > 1e-12 {
+		t.Errorf("F = %v, want ~0", res.F)
+	}
+}
+
+func TestMinimizeQuarticFlat(t *testing.T) {
+	// Flat minimum — parabolic interpolation degenerates, golden steps must
+	// carry the method.
+	f := func(x float64) float64 { return math.Pow(x-1, 4) }
+	res, err := Minimize(f, -5, 5, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-1) > 1e-2 {
+		t.Errorf("X = %v, want 1 (quartic floor)", res.X)
+	}
+}
+
+func TestMinimizeCosine(t *testing.T) {
+	res, err := Minimize(math.Cos, 2, 5, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-math.Pi) > 1e-6 {
+		t.Errorf("X = %v, want π", res.X)
+	}
+}
+
+func TestMinimizeMinimumAtBoundary(t *testing.T) {
+	// Monotone decreasing on the interval: minimum is at the right edge.
+	// Brent converges to the edge (within tolerance); this behaviour is what
+	// the PCA refinement's edge-detection logic relies on.
+	f := func(x float64) float64 { return -x }
+	res, err := Minimize(f, 0, 1, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X < 1-1e-6 {
+		t.Errorf("X = %v, want ≈1 (right edge)", res.X)
+	}
+}
+
+func TestMinimizeSwappedBounds(t *testing.T) {
+	f := func(x float64) float64 { return (x + 2) * (x + 2) }
+	res, err := Minimize(f, 5, -5, 1e-10, 0) // a > b on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X+2) > 1e-6 {
+		t.Errorf("X = %v, want -2", res.X)
+	}
+}
+
+func TestMinimizeAbsValue(t *testing.T) {
+	// Non-differentiable kink at the minimum.
+	f := func(x float64) float64 { return math.Abs(x - 0.25) }
+	res, err := Minimize(f, -1, 1, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-0.25) > 1e-6 {
+		t.Errorf("X = %v, want 0.25", res.X)
+	}
+}
+
+func TestMinimizeMaxIter(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	res, err := Minimize(f, -1000, 1000, 1e-15, 3)
+	if err != ErrMaxIter {
+		t.Fatalf("err = %v, want ErrMaxIter", err)
+	}
+	if res.Iters != 3 {
+		t.Errorf("Iters = %d, want 3", res.Iters)
+	}
+	// Best-so-far must still be inside the original interval.
+	if res.X < -1000 || res.X > 1000 {
+		t.Errorf("X = %v escaped interval", res.X)
+	}
+}
+
+func TestMinimizeNeverEvaluatesOutside(t *testing.T) {
+	lo, hi := 1.5, 4.5
+	f := func(x float64) float64 {
+		if x < lo || x > hi {
+			t.Fatalf("evaluated f(%v) outside [%v,%v]", x, lo, hi)
+		}
+		return math.Sin(3*x) + 0.1*x*x
+	}
+	if _, err := Minimize(f, lo, hi, 1e-10, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	res, err := GoldenSection(f, -10, 10, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-3) > 1e-6 {
+		t.Errorf("X = %v, want 3", res.X)
+	}
+}
+
+func TestGoldenSectionMaxIter(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	_, err := GoldenSection(f, -1e9, 1e9, 1e-12, 5)
+	if err != ErrMaxIter {
+		t.Errorf("err = %v, want ErrMaxIter", err)
+	}
+}
+
+func TestBrentFewerEvalsThanGolden(t *testing.T) {
+	// On a smooth function, parabolic steps should converge in far fewer
+	// iterations than pure golden-section. This is the whole reason the
+	// paper picked Brent over golden-section.
+	f := func(x float64) float64 { return math.Exp(x) - 2*x }
+	rb, err := Minimize(f, -2, 3, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := GoldenSection(f, -2, 3, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Iters >= rg.Iters {
+		t.Errorf("Brent iters %d >= golden iters %d", rb.Iters, rg.Iters)
+	}
+	if math.Abs(rb.X-math.Log(2)) > 1e-6 {
+		t.Errorf("Brent X = %v, want ln2", rb.X)
+	}
+}
+
+func TestPropBrentAgreesWithGolden(t *testing.T) {
+	// For randomly placed parabolas both minimisers must agree.
+	f := func(center, width float64) bool {
+		c := math.Mod(math.Abs(center), 50)
+		if math.IsNaN(c) {
+			c = 1
+		}
+		w := 10 + math.Mod(math.Abs(width), 90)
+		if math.IsNaN(w) {
+			w = 20
+		}
+		fn := func(x float64) float64 { return (x - c) * (x - c) }
+		rb, errB := Minimize(fn, c-w, c+w, 1e-9, 0)
+		rg, errG := GoldenSection(fn, c-w, c+w, 1e-9, 0)
+		return errB == nil && errG == nil && math.Abs(rb.X-rg.X) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMinimizeDistanceLike(b *testing.B) {
+	// Shape representative of the PCA refinement: squared distance between
+	// two near-sinusoidal trajectories.
+	f := func(t float64) float64 {
+		dx := 7000*math.Cos(0.001*t) - 7010*math.Cos(0.00101*t+0.1)
+		dy := 7000*math.Sin(0.001*t) - 7010*math.Sin(0.00101*t+0.1)
+		return dx*dx + dy*dy
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimize(f, 0, 3000, 1e-6, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

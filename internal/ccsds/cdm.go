@@ -1,0 +1,232 @@
+// Package ccsds emits screening results as CCSDS Conjunction Data Messages
+// (CDM, CCSDS 508.0-B-1) in KVN (keyword = value notation) form — the
+// format conjunction-assessment pipelines exchange with operators. The
+// paper's screening phase feeds "a more detailed subsequent conjunction
+// assessment process" (§III); the CDM is that hand-off artifact.
+//
+// The writer fills the subset of mandatory fields derivable from a
+// two-body screening: TCA, miss distance, relative speed, and the relative
+// position resolved in object 1's RTN (radial/transverse/normal) frame at
+// TCA. Covariance sections, which require orbit-determination input the
+// screening layer does not have, are omitted; readers treat the message as
+// covariance-free per the standard.
+package ccsds
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/propagation"
+)
+
+// ObjectInfo describes one participant.
+type ObjectInfo struct {
+	Designator string // catalogue designator, e.g. "00042"
+	Name       string // object name
+}
+
+// Message is one conjunction data message.
+type Message struct {
+	CreationDate time.Time
+	Originator   string
+	MessageID    string
+
+	TCA             time.Time
+	MissDistanceM   float64 // metres
+	RelativeSpeedMS float64 // metres/second
+	// Relative position of object 2 w.r.t. object 1 at TCA, resolved in
+	// object 1's RTN frame, metres.
+	RelPosRTN [3]float64
+
+	Object1, Object2 ObjectInfo
+}
+
+// FromConjunction builds a Message from a screening result. epoch anchors
+// the screening's t = 0; prop must be the propagator the screening used so
+// the states at TCA are consistent with the reported PCA.
+func FromConjunction(c core.Conjunction, a, b *propagation.Satellite, prop propagation.Propagator, epoch time.Time, originator string) Message {
+	pa, va := prop.State(a, c.TCA)
+	pb, vb := prop.State(b, c.TCA)
+	rel := pb.Sub(pa)
+	relV := vb.Sub(va)
+
+	// Object 1 RTN frame.
+	rHat := pa.Unit()
+	nHat := pa.Cross(va).Unit()
+	tHat := nHat.Cross(rHat)
+
+	return Message{
+		CreationDate:    epoch,
+		Originator:      originator,
+		MessageID:       fmt.Sprintf("%s-%d-%d-%d", originator, a.ID, b.ID, int64(c.TCA*1000)),
+		TCA:             epoch.Add(time.Duration(c.TCA * float64(time.Second))),
+		MissDistanceM:   c.PCA * 1000,
+		RelativeSpeedMS: relV.Norm() * 1000,
+		RelPosRTN: [3]float64{
+			rel.Dot(rHat) * 1000,
+			rel.Dot(tHat) * 1000,
+			rel.Dot(nHat) * 1000,
+		},
+		Object1: ObjectInfo{Designator: fmt.Sprintf("%05d", a.ID), Name: fmt.Sprintf("OBJECT %d", a.ID)},
+		Object2: ObjectInfo{Designator: fmt.Sprintf("%05d", b.ID), Name: fmt.Sprintf("OBJECT %d", b.ID)},
+	}
+}
+
+const timeLayout = "2006-01-02T15:04:05.000"
+
+// WriteKVN renders the message in keyword = value notation.
+func (m Message) WriteKVN(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	p := func(key string, value string) {
+		fmt.Fprintf(bw, "%-28s = %s\n", key, value)
+	}
+	pf := func(key string, value float64, unit string) {
+		fmt.Fprintf(bw, "%-28s = %.6f [%s]\n", key, value, unit)
+	}
+	p("CCSDS_CDM_VERS", "1.0")
+	p("CREATION_DATE", m.CreationDate.UTC().Format(timeLayout))
+	p("ORIGINATOR", m.Originator)
+	p("MESSAGE_ID", m.MessageID)
+	p("TCA", m.TCA.UTC().Format(timeLayout))
+	pf("MISS_DISTANCE", m.MissDistanceM, "m")
+	pf("RELATIVE_SPEED", m.RelativeSpeedMS, "m/s")
+	pf("RELATIVE_POSITION_R", m.RelPosRTN[0], "m")
+	pf("RELATIVE_POSITION_T", m.RelPosRTN[1], "m")
+	pf("RELATIVE_POSITION_N", m.RelPosRTN[2], "m")
+	for i, obj := range []ObjectInfo{m.Object1, m.Object2} {
+		p("OBJECT", fmt.Sprintf("OBJECT%d", i+1))
+		p("OBJECT_DESIGNATOR", obj.Designator)
+		p("CATALOG_NAME", "SATCONJ-SYNTHETIC")
+		p("OBJECT_NAME", obj.Name)
+		p("EPHEMERIS_NAME", "NONE")
+		p("MANEUVERABLE", "NO")
+		p("REF_FRAME", "EME2000")
+	}
+	return bw.Flush()
+}
+
+// ParseKVN reads one message back (subset round-trip: the fields WriteKVN
+// emits). Unknown keywords are ignored, making the parser tolerant of
+// richer CDMs.
+func ParseKVN(r io.Reader) (Message, error) {
+	var m Message
+	sc := bufio.NewScanner(r)
+	objIdx := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "COMMENT") {
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return m, fmt.Errorf("ccsds: line %d: no '=' in %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		// Strip a trailing unit annotation.
+		if i := strings.Index(val, "["); i >= 0 {
+			val = strings.TrimSpace(val[:i])
+		}
+		switch key {
+		case "CCSDS_CDM_VERS":
+			if val != "1.0" {
+				return m, fmt.Errorf("ccsds: unsupported CDM version %q", val)
+			}
+		case "CREATION_DATE":
+			t, err := time.Parse(timeLayout, val)
+			if err != nil {
+				return m, fmt.Errorf("ccsds: line %d: %v", lineNo, err)
+			}
+			m.CreationDate = t
+		case "ORIGINATOR":
+			m.Originator = val
+		case "MESSAGE_ID":
+			m.MessageID = val
+		case "TCA":
+			t, err := time.Parse(timeLayout, val)
+			if err != nil {
+				return m, fmt.Errorf("ccsds: line %d: %v", lineNo, err)
+			}
+			m.TCA = t
+		case "MISS_DISTANCE":
+			if err := parseF(val, &m.MissDistanceM); err != nil {
+				return m, fmt.Errorf("ccsds: line %d: %v", lineNo, err)
+			}
+		case "RELATIVE_SPEED":
+			if err := parseF(val, &m.RelativeSpeedMS); err != nil {
+				return m, fmt.Errorf("ccsds: line %d: %v", lineNo, err)
+			}
+		case "RELATIVE_POSITION_R":
+			if err := parseF(val, &m.RelPosRTN[0]); err != nil {
+				return m, fmt.Errorf("ccsds: line %d: %v", lineNo, err)
+			}
+		case "RELATIVE_POSITION_T":
+			if err := parseF(val, &m.RelPosRTN[1]); err != nil {
+				return m, fmt.Errorf("ccsds: line %d: %v", lineNo, err)
+			}
+		case "RELATIVE_POSITION_N":
+			if err := parseF(val, &m.RelPosRTN[2]); err != nil {
+				return m, fmt.Errorf("ccsds: line %d: %v", lineNo, err)
+			}
+		case "OBJECT":
+			switch val {
+			case "OBJECT1":
+				objIdx = 1
+			case "OBJECT2":
+				objIdx = 2
+			default:
+				return m, fmt.Errorf("ccsds: line %d: unknown OBJECT %q", lineNo, val)
+			}
+		case "OBJECT_DESIGNATOR":
+			obj(&m, objIdx).Designator = val
+		case "OBJECT_NAME":
+			obj(&m, objIdx).Name = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+func obj(m *Message, idx int) *ObjectInfo {
+	if idx == 2 {
+		return &m.Object2
+	}
+	return &m.Object1
+}
+
+func parseF(s string, dst *float64) error {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+// WriteAll emits one CDM per conjunction to w, separated by blank lines.
+func WriteAll(w io.Writer, conjs []core.Conjunction, lookup func(id int32) *propagation.Satellite, prop propagation.Propagator, epoch time.Time, originator string) error {
+	for i, c := range conjs {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		a, b := lookup(c.A), lookup(c.B)
+		if a == nil || b == nil {
+			return fmt.Errorf("ccsds: conjunction %d references unknown satellite (%d, %d)", i, c.A, c.B)
+		}
+		if err := FromConjunction(c, a, b, prop, epoch, originator).WriteKVN(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockfree"
+)
+
+// sampleStepsBatched is the step-batched form of step 2: batches of
+// Config.ParallelSteps sampling steps run concurrently, each step owning a
+// private grid instance (allocated once, reused across batches), while all
+// steps share the lock-free conjunction pair set. This is the paper's
+// data-parallel layout over (satellite, time) tuples: with p grids
+// resident, the executor is saturated even when one step alone has too
+// little work per satellite (§V-B/§V-E).
+//
+// Phase timings are accumulated from per-step spans, so under concurrency
+// Insertion+Detection can exceed wall time; the *shares* remain the
+// meaningful quantity, as in §V-C1.
+func (r *run) sampleStepsBatched() error {
+	batch := r.cfg.ParallelSteps
+	if batch > r.steps {
+		batch = r.steps
+	}
+	slotFactor := r.cfg.GridSlotFactor
+	if slotFactor <= 0 {
+		slotFactor = 2
+	}
+	grids := make([]*lockfree.GridSet, batch)
+	for i := range grids {
+		grids[i] = lockfree.NewGridSet(int(slotFactor*float64(len(r.sats))), len(r.sats))
+	}
+
+	for base := 0; base < r.steps; base += batch {
+		hi := base + batch
+		if hi > r.steps {
+			hi = r.steps
+		}
+		for { // retry loop for pair-set growth
+			var full atomic.Bool
+			var firstErr atomic.Value
+			var insNs, cdNs atomic.Int64
+			r.exec.ParallelFor(hi-base, func(lo, hiK int) {
+				var scratch scanScratch
+				for k := lo; k < hiK; k++ {
+					overflow, ins, cd, err := r.processStepSerial(uint32(base+k), grids[k], &scratch)
+					insNs.Add(int64(ins))
+					cdNs.Add(int64(cd))
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					if overflow {
+						full.Store(true)
+						return
+					}
+				}
+			})
+			if err, ok := firstErr.Load().(error); ok {
+				return err
+			}
+			r.stats.Insertion += time.Duration(insNs.Load())
+			r.stats.Detection += time.Duration(cdNs.Load())
+			if !full.Load() {
+				break
+			}
+			r.growPairs()
+		}
+	}
+	r.stats.Steps = r.steps
+	return nil
+}
+
+// processStepSerial runs one sampling step start-to-finish on the calling
+// goroutine: propagate, insert into the step's private grid, scan for
+// candidates into the shared pair set.
+func (r *run) processStepSerial(step uint32, gs *lockfree.GridSet, scratch *scanScratch) (overflow bool, ins, cd time.Duration, err error) {
+	t := float64(step) * r.sps
+
+	tIns := time.Now()
+	gs.Reset()
+	for i := range r.sats {
+		pos, _ := r.prop.State(&r.sats[i], t)
+		key, ok := r.grid.KeyOf(pos)
+		if !ok {
+			r.oob.Add(1)
+			continue
+		}
+		if insErr := gs.Insert(key, int32(i), r.sats[i].ID, pos); insErr != nil {
+			return false, time.Since(tIns), 0, fmt.Errorf("core: grid insertion: %w", insErr)
+		}
+	}
+	ins = time.Since(tIns)
+
+	tCD := time.Now()
+	overflow = r.scanSlots(gs, 0, gs.Slots(), step, scratch)
+	cd = time.Since(tCD)
+	return overflow, ins, cd, nil
+}

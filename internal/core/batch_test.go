@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBatchedStepsMatchSequential(t *testing.T) {
+	sats := engineeredPopulation(t)
+	seq, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, Workers: 2}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{2, 7, 64, 10000} {
+		res, err := NewGrid(Config{
+			ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500,
+			Workers: 2, ParallelSteps: batch,
+		}).Screen(sats)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if len(res.Conjunctions) != len(seq.Conjunctions) {
+			t.Fatalf("batch=%d: %d conjunctions vs sequential %d", batch, len(res.Conjunctions), len(seq.Conjunctions))
+		}
+		for i := range res.Conjunctions {
+			if res.Conjunctions[i] != seq.Conjunctions[i] {
+				t.Fatalf("batch=%d: conjunction %d differs: %+v vs %+v",
+					batch, i, res.Conjunctions[i], seq.Conjunctions[i])
+			}
+		}
+	}
+}
+
+func TestBatchedHybridMatchesSequential(t *testing.T) {
+	sats := engineeredPopulation(t)
+	seq, err := NewHybrid(Config{ThresholdKm: 2, DurationSeconds: 1500, Workers: 2}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewHybrid(Config{ThresholdKm: 2, DurationSeconds: 1500, Workers: 2, ParallelSteps: 8}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conjunctions) != len(seq.Conjunctions) {
+		t.Fatalf("%d conjunctions vs sequential %d", len(res.Conjunctions), len(seq.Conjunctions))
+	}
+	for i := range res.Conjunctions {
+		if res.Conjunctions[i] != seq.Conjunctions[i] {
+			t.Fatalf("conjunction %d differs", i)
+		}
+	}
+}
+
+func TestBatchedPairSetGrowth(t *testing.T) {
+	sats := engineeredPopulation(t)
+	res, err := NewGrid(Config{
+		ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500,
+		ParallelSteps: 16, PairSlotHint: 2,
+	}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PairSetGrowths == 0 {
+		t.Error("batched run never grew the tiny pair set")
+	}
+	if got := len(res.Events(10)); got != 3 {
+		t.Errorf("events = %d, want 3", got)
+	}
+}
+
+func TestBatchedStatsRecorded(t *testing.T) {
+	sats := engineeredPopulation(t)
+	res, err := NewGrid(Config{
+		ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 300, ParallelSteps: 4,
+	}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steps != stepCount(300, 1) {
+		t.Errorf("Steps = %d", res.Stats.Steps)
+	}
+	if res.Stats.Insertion <= 0 || res.Stats.Detection <= 0 {
+		t.Errorf("phase timings missing: %+v", res.Stats)
+	}
+}

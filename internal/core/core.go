@@ -1,0 +1,288 @@
+// Package core implements the paper's primary contribution: conjunction
+// screening of large satellite populations with a spatial grid backed by
+// non-blocking atomic hash structures.
+//
+// Two detectors are provided, mirroring §III:
+//
+//   - Grid — the purely grid-based variant: small cells, fine sampling,
+//     every candidate pair refined directly (NewGrid).
+//   - Hybrid — the grid as a pre-filter with larger cells and coarser
+//     sampling, followed by the classical orbital filter chain which both
+//     rejects pairs and supplies the PCA/TCA search interval (NewHybrid).
+//
+// Both share the four-step structure of §III: (1) upfront allocation,
+// (2) parallel propagation + grid insertion + candidate identification per
+// sampling step, (3) [hybrid only] orbital filtering, (4) PCA/TCA
+// determination with Brent minimisation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/filters"
+	"repro/internal/lockfree"
+	"repro/internal/propagation"
+	"repro/internal/spatial"
+)
+
+// Variant names a detector flavour in results and reports.
+type Variant string
+
+// The two detector variants of the paper.
+const (
+	VariantGrid   Variant = "grid"
+	VariantHybrid Variant = "hybrid"
+)
+
+// Config parameterises a screening run. The zero value of every optional
+// field selects the paper's defaults.
+type Config struct {
+	// ThresholdKm is the screening threshold d. Default 2 km (§V).
+	ThresholdKm float64
+	// SecondsPerSample is the sampling step s_ps. Defaults: 1 s for the
+	// grid variant (small cells), 9 s for the hybrid variant (§V-C).
+	SecondsPerSample float64
+	// DurationSeconds is the screened time span t (> 0 required).
+	DurationSeconds float64
+	// Workers is the parallelism degree; ≤0 selects GOMAXPROCS.
+	Workers int
+	// Propagator advances satellites; nil selects propagation.TwoBody{}.
+	Propagator propagation.Propagator
+	// HalfExtentKm bounds the simulation cube; 0 sizes it automatically
+	// from the population's largest apogee (capped below by the paper's
+	// default GEO-covering cube when the population needs it).
+	HalfExtentKm float64
+	// GridSlotFactor scales grid hash slots relative to the population
+	// size; 0 selects the paper's 2×.
+	GridSlotFactor float64
+	// PairSlotHint presizes the conjunction hash set; 0 derives a size
+	// from the population (callers with an Extra-P model estimate pass it
+	// here). The set grows automatically on overflow either way.
+	PairSlotHint int
+	// UseHalfNeighborhood enumerates 13 instead of 26 neighbour cells,
+	// visiting each adjacent cell pair once (an ablation; results are
+	// identical because the pair set dedups, only the constant changes).
+	UseHalfNeighborhood bool
+	// Filters configures the hybrid variant's orbital filter chain.
+	Filters filters.Config
+	// Executor selects the parallel backend: nil runs on a CPU worker pool
+	// of Workers goroutines; a *gpusim.Device runs the same pipeline with
+	// the simulated SIMT block decomposition and transfer accounting.
+	Executor Executor
+	// ParallelSteps processes this many sampling steps concurrently, each
+	// with its own grid instance — the paper's parallelisation factor p
+	// (§V-B/§V-E): "we calculate as many points in time in parallel as
+	// fit into the memory". ≤1 processes steps sequentially (each step
+	// internally parallel). The memory planner (internal/model) supplies
+	// p for a given budget.
+	ParallelSteps int
+	// Uncertainty, when non-nil, screens each pair against the effective
+	// threshold d + u(a) + u(b) instead of the uniform d (§III: the
+	// threshold should cover the position uncertainties). The grid is
+	// sized for the worst pair automatically.
+	Uncertainty UncertaintyMap
+}
+
+// Executor abstracts the data-parallel backend of §V-E. The CPU backend
+// chunks ranges across a goroutine pool ("a thread is responsible for
+// propagating and grid-inserting multiple tuples"); the gpusim backend maps
+// ranges onto simulated 512-thread blocks.
+type Executor interface {
+	// ParallelFor partitions [0, n) into ranges and runs fn on them
+	// concurrently, returning after all ranges completed. fn must be safe
+	// for concurrent invocation on disjoint ranges.
+	ParallelFor(n int, fn func(lo, hi int))
+	// Workers reports the backend's concurrency for sizing scratch space.
+	Workers() int
+	// ExecutorName identifies the backend in results.
+	ExecutorName() string
+}
+
+// transferAccounter is implemented by executors that model host↔device
+// copies (the gpusim device); the detectors feed it the upload of the
+// satellite data and the download of the conjunction set.
+type transferAccounter interface {
+	TransferH2D(bytes int64)
+	TransferD2H(bytes int64)
+}
+
+// cpuExecutor is the default backend: a flat goroutine pool.
+type cpuExecutor struct{ workers int }
+
+// ParallelFor implements Executor.
+func (e cpuExecutor) ParallelFor(n int, fn func(lo, hi int)) { parallelFor(e.workers, n, fn) }
+
+// Workers implements Executor.
+func (e cpuExecutor) Workers() int { return e.workers }
+
+// ExecutorName implements Executor.
+func (e cpuExecutor) ExecutorName() string { return "cpu" }
+
+func (c Config) threshold() float64 {
+	if c.ThresholdKm <= 0 {
+		return filters.DefaultThreshold
+	}
+	return c.ThresholdKm
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) propagator() propagation.Propagator {
+	if c.Propagator == nil {
+		return propagation.TwoBody{}
+	}
+	return c.Propagator
+}
+
+// Conjunction is one detected close approach: the pair, the sampling step
+// that flagged it, and the refined time and distance of closest approach.
+type Conjunction struct {
+	A, B int32   // satellite IDs, A < B
+	Step uint32  // sampling step that produced the candidate
+	TCA  float64 // time of closest approach, seconds from epoch
+	PCA  float64 // point-of-closest-approach distance, km
+}
+
+// PhaseStats records where the run spent its time — the §V-C1 breakdown —
+// plus pipeline counters.
+type PhaseStats struct {
+	Insertion   time.Duration // propagation + grid insertion (INS)
+	Detection   time.Duration // candidate generation + PCA/TCA refinement (CD)
+	Coplanarity time.Duration // orbital filter classification (hybrid only)
+
+	Steps          int    // sampling steps processed
+	CandidatePairs int    // distinct (pair, step) candidates from the grid
+	FilterRejected int    // candidates dropped by the orbital filters (hybrid)
+	Refinements    int    // Brent searches performed
+	OutOfBounds    uint64 // satellite samples outside the simulation cube
+	GridSlots      int    // grid hash slot capacity
+	PairSlots      int    // final conjunction hash slot capacity
+	PairSetGrowths int    // times the conjunction hash set overflowed and doubled
+	FilterStats    filters.Stats
+}
+
+// Total returns the accounted wall time of the phases.
+func (p PhaseStats) Total() time.Duration {
+	return p.Insertion + p.Detection + p.Coplanarity
+}
+
+// Result is the outcome of a screening run.
+type Result struct {
+	Variant      Variant
+	Backend      string        // executor that ran the pipeline
+	Conjunctions []Conjunction // sorted by (A, B, TCA)
+	Stats        PhaseStats
+}
+
+// UniquePairs returns the number of distinct satellite pairs among the
+// conjunctions — the paper's "possibly colliding pairs" count, as opposed to
+// the conjunction count which may include one event seen at several steps.
+func (r *Result) UniquePairs() int {
+	seen := make(map[uint64]struct{}, len(r.Conjunctions))
+	for _, c := range r.Conjunctions {
+		seen[lockfree.PackPair(c.A, c.B, 0)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Events merges conjunctions of the same pair whose TCAs lie within
+// tolSeconds of each other, keeping the smallest PCA of each cluster: one
+// entry per physical encounter.
+func (r *Result) Events(tolSeconds float64) []Conjunction {
+	if len(r.Conjunctions) == 0 {
+		return nil
+	}
+	sorted := make([]Conjunction, len(r.Conjunctions))
+	copy(sorted, r.Conjunctions)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		if sorted[i].B != sorted[j].B {
+			return sorted[i].B < sorted[j].B
+		}
+		return sorted[i].TCA < sorted[j].TCA
+	})
+	var out []Conjunction
+	for _, c := range sorted {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.A == c.A && last.B == c.B && math.Abs(last.TCA-c.TCA) <= tolSeconds {
+				if c.PCA < last.PCA {
+					last.PCA = c.PCA
+					last.TCA = c.TCA
+				}
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// PairKey returns the step-less pair identity of a conjunction, usable as a
+// map key when comparing variant outputs.
+func (c Conjunction) PairKey() uint64 { return lockfree.PackPair(c.A, c.B, 0) }
+
+// Errors returned by the detectors.
+var (
+	ErrNoDuration = errors.New("core: DurationSeconds must be positive")
+	ErrTooManyIDs = errors.New("core: satellite ID exceeds the pair-set limit")
+)
+
+// validatePopulation checks IDs and returns a lookup from satellite ID to
+// population index. IDs must be unique and within the packed-pair range.
+func validatePopulation(sats []propagation.Satellite) (map[int32]int32, error) {
+	idx := make(map[int32]int32, len(sats))
+	for i := range sats {
+		id := sats[i].ID
+		if id < 0 || id > lockfree.MaxID {
+			return nil, fmt.Errorf("%w: id %d (max %d)", ErrTooManyIDs, id, lockfree.MaxID)
+		}
+		if prev, dup := idx[id]; dup {
+			return nil, fmt.Errorf("core: duplicate satellite ID %d (indices %d and %d)", id, prev, i)
+		}
+		idx[id] = int32(i)
+	}
+	return idx, nil
+}
+
+// autoHalfExtent sizes the simulation cube to just cover the population's
+// largest apogee (plus guard cells), so even sub-kilometre cells stay within
+// the packed coordinate range. Populations beyond the paper's default
+// GEO-covering cube simply get a bigger cube.
+func autoHalfExtent(sats []propagation.Satellite, cellSize float64) float64 {
+	maxApogee := 0.0
+	for i := range sats {
+		if ap := sats[i].Elements.ApogeeRadius(); ap > maxApogee {
+			maxApogee = ap
+		}
+	}
+	return spatial.RequiredHalfExtent(maxApogee, cellSize)
+}
+
+// defaultPairSlots presizes the conjunction set when no model hint is given:
+// a few candidate slots per satellite with the paper's 10,000 floor and the
+// two doublings of §V-B already applied by rounding up inside the set.
+func defaultPairSlots(n int, steps int) int {
+	est := 4 * n
+	if est < 10000 {
+		est = 10000
+	}
+	return est * 2 * 2
+}
+
+// stepCount returns the number of samples covering [0, duration].
+func stepCount(duration, sps float64) int {
+	return int(math.Floor(duration/sps)) + 1
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestGridOnSimulatedGPUMatchesCPU(t *testing.T) {
+	sats := engineeredPopulation(t)
+	cpu, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, Workers: 2}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.RTX3090()
+	gpu, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, Executor: dev}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Backend != dev.ExecutorName() {
+		t.Errorf("Backend = %q", gpu.Backend)
+	}
+	if len(cpu.Conjunctions) != len(gpu.Conjunctions) {
+		t.Fatalf("cpu %d vs gpu-sim %d conjunctions", len(cpu.Conjunctions), len(gpu.Conjunctions))
+	}
+	for i := range cpu.Conjunctions {
+		if cpu.Conjunctions[i] != gpu.Conjunctions[i] {
+			t.Fatalf("conjunction %d differs: %+v vs %+v", i, cpu.Conjunctions[i], gpu.Conjunctions[i])
+		}
+	}
+	st := dev.Stats()
+	if st.Launches == 0 {
+		t.Error("no kernel launches recorded")
+	}
+	if st.BytesH2D == 0 || st.BytesD2H == 0 {
+		t.Errorf("transfer accounting missing: %+v", st)
+	}
+}
+
+func TestHybridOnSimulatedGPU(t *testing.T) {
+	sats := engineeredPopulation(t)
+	dev := gpusim.RTX3090()
+	res, err := NewHybrid(Config{ThresholdKm: 2, DurationSeconds: 1500, Executor: dev}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Events(10)); got != 3 {
+		t.Errorf("events = %d, want 3", got)
+	}
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockfree"
+	"repro/internal/propagation"
+	"repro/internal/spatial"
+)
+
+// Grid is the purely grid-based conjunction detector of §III: fine
+// sampling, cells sized by Eq. 1, and direct PCA/TCA refinement of every
+// candidate pair the grid produces.
+type Grid struct {
+	cfg Config
+}
+
+// NewGrid returns a grid-based detector with the given configuration.
+func NewGrid(cfg Config) *Grid { return &Grid{cfg: cfg} }
+
+// DefaultGridSeconds is the grid variant's default sampling step.
+const DefaultGridSeconds = 1.0
+
+// Screen runs the full pipeline over the population and returns every
+// conjunction below the screening threshold in [0, DurationSeconds].
+func (d *Grid) Screen(sats []propagation.Satellite) (*Result, error) {
+	cfg := d.cfg
+	sps := cfg.SecondsPerSample
+	if sps <= 0 {
+		sps = DefaultGridSeconds
+	}
+	run, err := newRun(cfg, sats, sps)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Variant: VariantGrid, Backend: "cpu"}
+	if run == nil { // degenerate population (<2 satellites)
+		return res, nil
+	}
+	res.Backend = run.exec.ExecutorName()
+	if err := run.sampleAllSteps(); err != nil {
+		return nil, err
+	}
+
+	// Step 4: PCA/TCA determination. For the grid variant every candidate
+	// goes straight to refinement; the interval is the two-cell crossing
+	// rule (§IV-C).
+	tRef := time.Now()
+	pairs := run.pairs.ItemsParallel(run.workers)
+	run.stats.CandidatePairs = len(pairs)
+	conjs := run.refineCandidates(pairs, nil)
+	run.stats.Detection += time.Since(tRef)
+
+	res.Conjunctions = conjs
+	res.Stats = run.finishStats()
+	return res, nil
+}
+
+// run holds the shared state of one screening execution (both variants).
+type run struct {
+	cfg         Config
+	sats        []propagation.Satellite
+	idx         map[int32]int32
+	sps         float64
+	threshold   float64
+	cellSize    float64
+	grid        *spatial.Grid
+	gset        *lockfree.GridSet
+	pairs       *lockfree.PairSet
+	states      []propagation.State
+	workers     int
+	exec        Executor
+	prop        propagation.Propagator
+	steps       int
+	oob         atomic.Uint64
+	stats       PhaseStats
+	refiner     *refiner
+	uncertainty UncertaintyMap
+}
+
+// satelliteUploadBytes approximates one satellite's device footprint: the
+// six elements plus the propagation cache (a_s + a_k of §V-B).
+const satelliteUploadBytes = 120
+
+// newRun validates inputs and allocates every structure up front — the
+// paper's step 1. A nil run (with nil error) signals a trivially empty
+// population.
+func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error) {
+	if cfg.DurationSeconds <= 0 {
+		return nil, ErrNoDuration
+	}
+	idx, err := validatePopulation(sats)
+	if err != nil {
+		return nil, err
+	}
+	if len(sats) < 2 {
+		return nil, nil
+	}
+	threshold := cfg.threshold()
+	// With per-object uncertainties the grid must cover the worst pair's
+	// effective threshold d + 2·u_max.
+	gridThreshold := threshold
+	if cfg.Uncertainty != nil {
+		maxU, err := maxUncertainty(cfg.Uncertainty, sats)
+		if err != nil {
+			return nil, err
+		}
+		gridThreshold += 2 * maxU
+	}
+	cellSize := spatial.CellSize(gridThreshold, sps)
+	halfExtent := cfg.HalfExtentKm
+	if halfExtent <= 0 {
+		halfExtent = autoHalfExtent(sats, cellSize)
+	}
+	grid, err := spatial.NewGrid(cellSize, halfExtent)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	slotFactor := cfg.GridSlotFactor
+	if slotFactor <= 0 {
+		slotFactor = 2
+	}
+	steps := stepCount(cfg.DurationSeconds, sps)
+	if steps-1 > lockfree.MaxStep {
+		return nil, fmt.Errorf("core: %d sampling steps exceed the pair-set step limit %d", steps, lockfree.MaxStep)
+	}
+	pairHint := cfg.PairSlotHint
+	if pairHint <= 0 {
+		pairHint = defaultPairSlots(len(sats), steps)
+	}
+	exec := cfg.Executor
+	if exec == nil {
+		exec = cpuExecutor{workers: cfg.workers()}
+	}
+	r := &run{
+		cfg:         cfg,
+		sats:        sats,
+		idx:         idx,
+		sps:         sps,
+		threshold:   threshold,
+		cellSize:    cellSize,
+		grid:        grid,
+		gset:        lockfree.NewGridSet(int(slotFactor*float64(len(sats))), len(sats)),
+		pairs:       lockfree.NewPairSet(pairHint),
+		states:      make([]propagation.State, len(sats)),
+		workers:     exec.Workers(),
+		exec:        exec,
+		prop:        cfg.propagator(),
+		steps:       steps,
+		uncertainty: cfg.Uncertainty,
+	}
+	r.refiner = newRefiner(r.prop, threshold, cfg.DurationSeconds)
+	r.stats.GridSlots = r.gset.Slots()
+	// Device backends pay the satellite upload once, at allocation time.
+	if ta, ok := exec.(transferAccounter); ok {
+		ta.TransferH2D(int64(len(sats)) * satelliteUploadBytes)
+	}
+	return r, nil
+}
+
+// sampleAllSteps runs step 2 for every sampling step: propagate, insert,
+// and identify candidate pairs into the conjunction set. With
+// Config.ParallelSteps > 1 whole steps run concurrently (see batch.go);
+// otherwise steps run sequentially with intra-step parallelism.
+func (r *run) sampleAllSteps() error {
+	if r.cfg.ParallelSteps > 1 {
+		return r.sampleStepsBatched()
+	}
+	for step := 0; step < r.steps; step++ {
+		t := float64(step) * r.sps
+
+		tIns := time.Now()
+		r.exec.ParallelFor(len(r.sats), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r.states[i].Pos, r.states[i].Vel = r.prop.State(&r.sats[i], t)
+			}
+		})
+		r.gset.ResetParallel(r.workers)
+		if err := r.insertAll(); err != nil {
+			return err
+		}
+		r.stats.Insertion += time.Since(tIns)
+
+		tCD := time.Now()
+		for r.generateCandidates(uint32(step)) {
+			r.growPairs()
+		}
+		r.stats.Detection += time.Since(tCD)
+	}
+	r.stats.Steps = r.steps
+	return nil
+}
+
+// insertAll performs the parallel grid insertion of §IV-A2.
+func (r *run) insertAll() error {
+	var firstErr atomic.Value
+	r.exec.ParallelFor(len(r.sats), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key, ok := r.grid.KeyOf(r.states[i].Pos)
+			if !ok {
+				r.oob.Add(1)
+				continue
+			}
+			if err := r.gset.Insert(key, int32(i), r.sats[i].ID, r.states[i].Pos); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+		}
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return fmt.Errorf("core: grid insertion: %w", err)
+	}
+	return nil
+}
+
+// generateCandidates performs the parallel conjunction-detection scan of
+// §IV-A3 for one step: every occupied slot is examined, and each satellite
+// pairs with every other satellite in its own cell and the neighbouring
+// cells. It reports true when the pair set overflowed (caller grows it and
+// re-runs; insertion is idempotent so the retry is safe).
+func (r *run) generateCandidates(step uint32) (overflow bool) {
+	var full atomic.Bool
+	r.exec.ParallelFor(r.gset.Slots(), func(lo, hi int) {
+		var scratch scanScratch
+		if r.scanSlots(r.gset, lo, hi, step, &scratch) {
+			full.Store(true)
+		}
+	})
+	return full.Load()
+}
+
+// scanScratch carries per-worker buffers across scanSlots calls.
+type scanScratch struct {
+	cellIDs []int32
+	nbuf    [26]uint64
+}
+
+// scanSlots scans slot range [lo, hi) of gs for candidate pairs at the
+// given step, inserting them into the shared pair set. It returns true on
+// pair-set overflow.
+func (r *run) scanSlots(gs *lockfree.GridSet, lo, hi int, step uint32, scratch *scanScratch) (overflow bool) {
+	half := r.cfg.UseHalfNeighborhood
+	for s := lo; s < hi; s++ {
+		key, head := gs.SlotKey(s)
+		if key == lockfree.EmptySlot || head < 0 {
+			continue
+		}
+		// Gather this cell's satellites.
+		cellIDs := scratch.cellIDs[:0]
+		for e := head; e >= 0; e = gs.Next(e) {
+			cellIDs = append(cellIDs, gs.Entry(e).ID)
+		}
+		scratch.cellIDs = cellIDs
+		// Pairs within the cell.
+		for i := 0; i < len(cellIDs); i++ {
+			for j := i + 1; j < len(cellIDs); j++ {
+				if _, err := r.pairs.Insert(cellIDs[i], cellIDs[j], step); err != nil {
+					return true
+				}
+			}
+		}
+		// Pairs with neighbouring cells.
+		coord := spatial.UnpackKey(key)
+		var neighbors []uint64
+		if half {
+			neighbors = r.grid.HalfNeighborKeys(coord, scratch.nbuf[:0])
+		} else {
+			neighbors = r.grid.NeighborKeys(coord, scratch.nbuf[:0])
+		}
+		for _, nk := range neighbors {
+			for e := gs.Head(nk); e >= 0; e = gs.Next(e) {
+				nid := gs.Entry(e).ID
+				for _, cid := range cellIDs {
+					if _, err := r.pairs.Insert(cid, nid, step); err != nil {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// growPairs doubles the conjunction set, preserving its contents — the
+// §V-B overflow remedy.
+func (r *run) growPairs() {
+	old := r.pairs
+	bigger := lockfree.NewPairSet(2 * old.Slots())
+	for _, p := range old.Items(nil) {
+		if _, err := bigger.Insert(p.A, p.B, p.Step); err != nil {
+			// Doubling always fits the existing items; reaching this means
+			// memory corruption, so fail loudly.
+			panic(fmt.Sprintf("core: re-insertion into doubled pair set failed: %v", err))
+		}
+	}
+	r.pairs = bigger
+	r.stats.PairSetGrowths++
+}
+
+// refineCandidates runs the parallel PCA/TCA phase over the candidate list.
+// radiusOverride, when non-nil, supplies a per-pair custom interval
+// (the hybrid variant's node-window intervals); a nil entry or nil function
+// falls back to the grid rule.
+func (r *run) refineCandidates(pairs []lockfree.Pair, interval func(p lockfree.Pair) (center, radius float64, ok bool)) []Conjunction {
+	var mu sync.Mutex
+	var all []Conjunction
+	var refinements atomic.Int64
+	r.exec.ParallelFor(len(pairs), func(lo, hi int) {
+		var out []Conjunction
+		for k := lo; k < hi; k++ {
+			p := pairs[k]
+			a := &r.sats[r.idx[p.A]]
+			b := &r.sats[r.idx[p.B]]
+			center := float64(p.Step) * r.sps
+			radius := 0.0
+			if interval != nil {
+				if c2, rad, ok := interval(p); ok {
+					center, radius = c2, rad
+				}
+			}
+			if radius <= 0 {
+				radius = intervalRadius(r.cellSize, a, b, r.prop, center)
+			}
+			refinements.Add(1)
+			tca, pca, outcome := r.refiner.refineThreshold(a, b, center, radius, r.pairThreshold(p.A, p.B))
+			if outcome == refineBelowThreshold {
+				out = append(out, Conjunction{A: min32(p.A, p.B), B: max32(p.A, p.B), Step: p.Step, TCA: tca, PCA: pca})
+			}
+		}
+		if len(out) > 0 {
+			mu.Lock()
+			all = append(all, out...)
+			mu.Unlock()
+		}
+	})
+	r.stats.Refinements += int(refinements.Load())
+	sortConjunctions(all)
+	// Device backends download the conjunction set once, at the end.
+	if ta, ok := r.exec.(transferAccounter); ok {
+		ta.TransferD2H(int64(len(pairs)) * 16)
+	}
+	return all
+}
+
+// finishStats seals the run counters into the result stats.
+func (r *run) finishStats() PhaseStats {
+	st := r.stats
+	st.OutOfBounds = r.oob.Load()
+	st.PairSlots = r.pairs.Slots()
+	return st
+}
+
+// parallelFor splits [0, n) across workers goroutines and waits.
+func parallelFor(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sortConjunctions orders by (A, B, TCA) for deterministic output.
+func sortConjunctions(cs []Conjunction) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].A != cs[j].A {
+			return cs[i].A < cs[j].A
+		}
+		if cs[i].B != cs[j].B {
+			return cs[i].B < cs[j].B
+		}
+		if cs[i].TCA != cs[j].TCA {
+			return cs[i].TCA < cs[j].TCA
+		}
+		return cs[i].Step < cs[j].Step
+	})
+}

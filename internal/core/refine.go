@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/brent"
+	"repro/internal/propagation"
+)
+
+// refiner performs the PCA/TCA determination of §IV-C: Brent minimisation
+// of the squared inter-satellite distance over a candidate interval, with
+// the paper's interval-edge rule — a minimum found at an interval border is
+// probed slightly beyond, and if the distance keeps decreasing outside, the
+// occurrence is discarded (the neighbouring interval owns that minimum).
+type refiner struct {
+	prop      propagation.Propagator
+	threshold float64 // default screening threshold d, km
+	span      float64 // screening duration; intervals are clamped to [0, span]
+	tolSec    float64 // Brent abscissa tolerance, seconds
+}
+
+func newRefiner(prop propagation.Propagator, threshold, span float64) *refiner {
+	return &refiner{prop: prop, threshold: threshold, span: span, tolSec: 1e-4}
+}
+
+// refine searches with the refiner's default threshold.
+func (r *refiner) refine(a, b *propagation.Satellite, tCenter, radius float64) (tca, pca float64, outcome refineOutcome) {
+	return r.refineThreshold(a, b, tCenter, radius, r.threshold)
+}
+
+// dist2At returns the squared distance between two satellites at time t.
+func (r *refiner) dist2At(a, b *propagation.Satellite, t float64) float64 {
+	pa, _ := r.prop.State(a, t)
+	pb, _ := r.prop.State(b, t)
+	return pa.Dist2(pb)
+}
+
+// intervalRadius implements the grid variant's rule: the search interval's
+// half-width is the time the slower of the two satellites needs to cross
+// two grid cells, computed from its speed at the sampling step.
+func intervalRadius(cellSize float64, a, b *propagation.Satellite, prop propagation.Propagator, tCenter float64) float64 {
+	_, va := prop.State(a, tCenter)
+	_, vb := prop.State(b, tCenter)
+	v := math.Min(va.Norm(), vb.Norm())
+	if v < 1e-9 {
+		v = 1e-9
+	}
+	return 2 * cellSize / v
+}
+
+// refineOutcome describes a single refinement attempt.
+type refineOutcome int
+
+const (
+	refineBelowThreshold refineOutcome = iota // minimum found, PCA ≤ d
+	refineAboveThreshold                      // minimum found, PCA > d
+	refineEdgeDiscard                         // minimum beyond interval edge
+)
+
+// refineThreshold searches [tCenter − radius, tCenter + radius] (clamped to
+// the screening span) for the pair's local distance minimum and classifies
+// it against the given (possibly uncertainty-widened) threshold.
+//
+// The minimisation runs in offset coordinates dt = t − tCenter so that
+// Brent's relative abscissa tolerance stays absolute-time-scale independent:
+// at t ~ 10⁵ s a relative 1e-4 tolerance would otherwise be tens of seconds.
+func (r *refiner) refineThreshold(a, b *propagation.Satellite, tCenter, radius, threshold float64) (tca, pca float64, outcome refineOutcome) {
+	lo := -radius
+	hi := +radius
+	loClamped, hiClamped := false, false
+	if tCenter+lo < 0 {
+		lo, loClamped = -tCenter, true
+	}
+	if tCenter+hi > r.span {
+		hi, hiClamped = r.span-tCenter, true
+	}
+	if hi <= lo {
+		hi = lo + 1e-6
+	}
+
+	f := func(dt float64) float64 { return r.dist2At(a, b, tCenter+dt) }
+	res, _ := brent.Minimize(f, lo, hi, r.tolSec, 100)
+
+	// Interval-edge rule (§IV-C): a minimum at an interior interval border
+	// is probed slightly beyond; if the distance keeps falling outside, the
+	// real minimum belongs to the neighbouring interval and this occurrence
+	// is discarded. Edges that clamp to the screening span are real
+	// boundaries — a minimum there is accepted (no neighbouring interval
+	// exists beyond the span). The edge tolerance covers Brent's
+	// convergence slack (its final abscissa can sit a few tolerances from
+	// a boundary minimum).
+	width := hi - lo
+	edgeTol := math.Max(16*r.tolSec, 1e-3*width)
+	probe := math.Max(32*r.tolSec, 0.01*width)
+	switch {
+	case res.X-lo < edgeTol && !loClamped:
+		if f(lo-probe) < res.F {
+			return 0, 0, refineEdgeDiscard
+		}
+	case hi-res.X < edgeTol && !hiClamped:
+		if f(hi+probe) < res.F {
+			return 0, 0, refineEdgeDiscard
+		}
+	}
+
+	pca = math.Sqrt(res.F)
+	if pca <= threshold {
+		return tCenter + res.X, pca, refineBelowThreshold
+	}
+	return tCenter + res.X, pca, refineAboveThreshold
+}

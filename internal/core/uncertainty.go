@@ -1,0 +1,71 @@
+package core
+
+// Uncertainty-aware screening. §III motivates the screening threshold as a
+// cover for "the largest typical uncertainties" of the catalogue. A single
+// uniform threshold wastes work when most objects are well-tracked: the
+// per-object uncertainty radius lets operators screen against
+//
+//	d_eff(a, b) = d + u(a) + u(b)
+//
+// — the uniform threshold d plus both objects' position uncertainties.
+// Geometrically this is exact for spherical uncertainty volumes: two
+// objects can only truly approach below d if their *nominal* positions
+// approach below d_eff.
+//
+// The grid must be sized for the worst pair, so the cell rule becomes
+// g_c = (d + 2·u_max) + 7.8·s_ps; candidate generation is unchanged and the
+// per-pair refinement applies d_eff.
+
+import (
+	"fmt"
+
+	"repro/internal/propagation"
+)
+
+// UncertaintyMap supplies each object's 1-sided position uncertainty
+// radius in km (0 for objects without one). Implementations must be safe
+// for concurrent reads.
+type UncertaintyMap interface {
+	UncertaintyKm(id int32) float64
+}
+
+// UniformUncertainty assigns every object the same radius.
+type UniformUncertainty float64
+
+// UncertaintyKm implements UncertaintyMap.
+func (u UniformUncertainty) UncertaintyKm(int32) float64 { return float64(u) }
+
+// SliceUncertainty maps object IDs (used as indices) to radii; IDs outside
+// the slice get 0.
+type SliceUncertainty []float64
+
+// UncertaintyKm implements UncertaintyMap.
+func (s SliceUncertainty) UncertaintyKm(id int32) float64 {
+	if int(id) < len(s) && id >= 0 {
+		return s[id]
+	}
+	return 0
+}
+
+// maxUncertainty scans the population's radii for grid sizing.
+func maxUncertainty(u UncertaintyMap, sats []propagation.Satellite) (float64, error) {
+	maxU := 0.0
+	for i := range sats {
+		v := u.UncertaintyKm(sats[i].ID)
+		if v < 0 {
+			return 0, fmt.Errorf("core: negative uncertainty %g for object %d", v, sats[i].ID)
+		}
+		if v > maxU {
+			maxU = v
+		}
+	}
+	return maxU, nil
+}
+
+// pairThreshold returns d_eff for a pair.
+func (r *run) pairThreshold(a, b int32) float64 {
+	if r.uncertainty == nil {
+		return r.threshold
+	}
+	return r.threshold + r.uncertainty.UncertaintyKm(a) + r.uncertainty.UncertaintyKm(b)
+}

@@ -1,0 +1,133 @@
+package cube
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+	"repro/internal/propagation"
+)
+
+func shell(n int, a float64, seed uint64, firstID int32) []propagation.Satellite {
+	rng := mathx.NewSplitMix64(seed)
+	sats := make([]propagation.Satellite, n)
+	for i := range sats {
+		el := orbit.Elements{
+			SemiMajorAxis: a + rng.UniformRange(-5, 5),
+			Eccentricity:  rng.UniformRange(0, 0.002),
+			Inclination:   rng.UniformRange(0.2, math.Pi-0.2),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		}
+		sats[i] = propagation.MustSatellite(firstID+int32(i), el)
+	}
+	return sats
+}
+
+func TestEstimateValidation(t *testing.T) {
+	sats := shell(4, 7000, 1, 0)
+	if _, err := Estimate(sats, Config{CubeSizeKm: 0, Samples: 10}); err == nil {
+		t.Error("zero cube size accepted")
+	}
+	if _, err := Estimate(sats, Config{CubeSizeKm: 50, Samples: 0}); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	sats := shell(50, 7000, 2, 0)
+	cfg := Config{CubeSizeKm: 100, Samples: 200, Seed: 9}
+	a, err := Estimate(sats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(sats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRatePerSecond != b.TotalRatePerSecond || len(a.Pairs) != len(b.Pairs) {
+		t.Error("same seed produced different estimates")
+	}
+}
+
+func TestEstimateSameShellPositiveRate(t *testing.T) {
+	sats := shell(120, 7000, 3, 0)
+	res, err := Estimate(sats, Config{CubeSizeKm: 200, Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRatePerSecond <= 0 {
+		t.Fatal("co-shell population produced zero collision rate")
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pair co-residences recorded")
+	}
+	// Sorted descending by rate.
+	for i := 1; i < len(res.Pairs); i++ {
+		if res.Pairs[i].RatePerSecond > res.Pairs[i-1].RatePerSecond {
+			t.Fatal("pairs not sorted by rate")
+		}
+	}
+	// Rates must be astronomically small per second for realistic σ.
+	if res.TotalRatePerSecond > 1e-6 {
+		t.Errorf("implausibly large total rate %g /s", res.TotalRatePerSecond)
+	}
+}
+
+func TestEstimateDisjointShellsNoCrossRate(t *testing.T) {
+	// Two shells 1,000 km apart: no cube of 100 km can hold objects from
+	// both, so every contributing pair stays within one shell.
+	low := shell(40, 7000, 4, 0)
+	high := shell(40, 8000, 5, 1000)
+	res, err := Estimate(append(low, high...), Config{CubeSizeKm: 100, Samples: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res.Pairs {
+		lowA, lowB := pr.A < 1000, pr.B < 1000
+		if lowA != lowB {
+			t.Errorf("cross-shell pair (%d,%d) has nonzero rate", pr.A, pr.B)
+		}
+	}
+}
+
+func TestEstimateDensityScaling(t *testing.T) {
+	// Rate scales roughly with n² at fixed shell volume: quadrupling the
+	// population should raise the total rate by roughly 16× (allow a wide
+	// Monte-Carlo band).
+	small, err := Estimate(shell(60, 7000, 6, 0), Config{CubeSizeKm: 200, Samples: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Estimate(shell(240, 7000, 6, 0), Config{CubeSizeKm: 200, Samples: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TotalRatePerSecond <= 0 || large.TotalRatePerSecond <= 0 {
+		t.Fatal("zero rates; increase samples")
+	}
+	ratio := large.TotalRatePerSecond / small.TotalRatePerSecond
+	if ratio < 6 || ratio > 40 {
+		t.Errorf("rate ratio for 4× population = %.1f, want ≈16 (n² scaling)", ratio)
+	}
+}
+
+func TestExpectedCollisions(t *testing.T) {
+	r := &Result{TotalRatePerSecond: 2e-9}
+	year := 365.25 * 86400.0
+	if got := r.ExpectedCollisions(year); math.Abs(got-2e-9*year) > 1e-12 {
+		t.Errorf("ExpectedCollisions = %v", got)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	sats := shell(500, 7000, 7, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(sats, Config{CubeSizeKm: 100, Samples: 50, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package filters
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+)
+
+// minOrbitDistance estimates the minimum distance between two orbits as
+// curves (independent of phase) by dense sampling of both true anomalies
+// followed by local refinement. This is the oracle for the filter chain's
+// conservativeness: a pair whose *orbits* never come within the threshold
+// can never produce a conjunction, and only such pairs may be rejected.
+func minOrbitDistance(a, b orbit.Elements, coarse int) float64 {
+	pa, qa := a.Basis()
+	pb, qb := b.Basis()
+	posA := func(f float64) (x, y, z float64) {
+		sf, cf := math.Sincos(f)
+		r := a.SemiLatusRectum() / (1 + a.Eccentricity*cf)
+		return r * (cf*pa.X + sf*qa.X), r * (cf*pa.Y + sf*qa.Y), r * (cf*pa.Z + sf*qa.Z)
+	}
+	posB := func(f float64) (x, y, z float64) {
+		sf, cf := math.Sincos(f)
+		r := b.SemiLatusRectum() / (1 + b.Eccentricity*cf)
+		return r * (cf*pb.X + sf*qb.X), r * (cf*pb.Y + sf*qb.Y), r * (cf*pb.Z + sf*qb.Z)
+	}
+	best := math.Inf(1)
+	bi, bj := 0, 0
+	for i := 0; i < coarse; i++ {
+		fa := mathx.TwoPi * float64(i) / float64(coarse)
+		ax, ay, az := posA(fa)
+		for j := 0; j < coarse; j++ {
+			fb := mathx.TwoPi * float64(j) / float64(coarse)
+			bx, by, bz := posB(fb)
+			dx, dy, dz := ax-bx, ay-by, az-bz
+			d2 := dx*dx + dy*dy + dz*dz
+			if d2 < best {
+				best, bi, bj = d2, i, j
+			}
+		}
+	}
+	// Local grid refinement around the coarse minimum.
+	faC := mathx.TwoPi * float64(bi) / float64(coarse)
+	fbC := mathx.TwoPi * float64(bj) / float64(coarse)
+	span := mathx.TwoPi / float64(coarse)
+	for iter := 0; iter < 8; iter++ {
+		improved := false
+		for i := -8; i <= 8; i++ {
+			for j := -8; j <= 8; j++ {
+				fa := faC + span*float64(i)/8
+				fb := fbC + span*float64(j)/8
+				ax, ay, az := posA(fa)
+				bx, by, bz := posB(fb)
+				dx, dy, dz := ax-bx, ay-by, az-bz
+				d2 := dx*dx + dy*dy + dz*dz
+				if d2 < best {
+					best, faC, fbC = d2, fa, fb
+					improved = true
+				}
+			}
+		}
+		span /= 4
+		if !improved && iter > 2 {
+			break
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// TestClassifyNeverRejectsReachablePairs is the chain's safety property:
+// for random orbit pairs, whenever the orbits approach within the
+// screening threshold, Classify must keep the pair (Coplanar or
+// NodeCrossing with a passing node). False rejections would silently drop
+// real conjunctions from the hybrid and legacy screeners.
+func TestClassifyNeverRejectsReachablePairs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sampling is slow; skipped with -short")
+	}
+	rng := mathx.NewSplitMix64(2024)
+	cfg := Config{ThresholdKm: 2}
+	checked, reachable := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		a := orbit.Elements{
+			SemiMajorAxis: rng.UniformRange(6800, 7600),
+			Eccentricity:  rng.UniformRange(0, 0.03),
+			Inclination:   rng.UniformRange(0, math.Pi),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+		}
+		b := orbit.Elements{
+			SemiMajorAxis: a.SemiMajorAxis + rng.UniformRange(-30, 30),
+			Eccentricity:  rng.UniformRange(0, 0.03),
+			Inclination:   rng.UniformRange(0, math.Pi),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+		}
+		if a.Validate() != nil || b.Validate() != nil {
+			continue
+		}
+		g := Classify(a, b, cfg)
+		if g.Class != Rejected {
+			continue // kept: nothing to verify
+		}
+		checked++
+		if d := minOrbitDistance(a, b, 180); d <= cfg.ThresholdKm {
+			reachable++
+			t.Errorf("trial %d: rejected by %q but orbits approach to %.4f km\n  a=%+v\n  b=%+v",
+				trial, g.RejectedBy, d, a, b)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no rejections produced; the property was never exercised")
+	}
+	t.Logf("verified %d rejections, %d false (want 0)", checked, reachable)
+}
+
+// TestClassifyRejectionsAreUseful complements the safety property: the
+// chain must actually reject a meaningful share of random pairs, otherwise
+// the hybrid variant degenerates into the grid variant plus overhead.
+func TestClassifyRejectionsAreUseful(t *testing.T) {
+	rng := mathx.NewSplitMix64(77)
+	cfg := Config{ThresholdKm: 2}
+	rejected, total := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		a := orbit.Elements{
+			SemiMajorAxis: rng.UniformRange(6800, 8000),
+			Eccentricity:  rng.UniformRange(0, 0.02),
+			Inclination:   rng.UniformRange(0, math.Pi),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+		}
+		b := orbit.Elements{
+			SemiMajorAxis: rng.UniformRange(6800, 8000),
+			Eccentricity:  rng.UniformRange(0, 0.02),
+			Inclination:   rng.UniformRange(0, math.Pi),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+		}
+		if a.Validate() != nil || b.Validate() != nil {
+			continue
+		}
+		total++
+		if Classify(a, b, cfg).Class == Rejected {
+			rejected++
+		}
+	}
+	frac := float64(rejected) / float64(total)
+	if frac < 0.3 {
+		t.Errorf("only %.0f%% of random shell pairs rejected; the filter chain is too weak to matter", 100*frac)
+	}
+	t.Logf("rejected %d/%d (%.0f%%)", rejected, total, 100*frac)
+}

@@ -1,0 +1,230 @@
+// Package gpusim is the CUDA substitution substrate (DESIGN.md §2): a
+// SIMT-style device simulator that executes data-parallel kernels with the
+// block/thread decomposition of the paper's GPU implementation, enforces a
+// device-memory budget, and accounts simulated host↔device transfers.
+//
+// What it preserves from the real GPU runs:
+//
+//   - the kernel programming model — one logical thread per (satellite,
+//     time) tuple, grouped into blocks of 512 threads (§V-B's
+//     parallelisation factor), so the detectors' GPU code path is the same
+//     shape as the paper's kernels;
+//   - the device memory budget, which drives the §V-B planner and the
+//     seconds-per-sample degradation of Fig. 10c;
+//   - transfer accounting, reproducing the "≈3% of total time" breakdown.
+//
+// What it cannot preserve: silicon throughput. Blocks execute on host
+// goroutines, so absolute GPU-vs-CPU ratios are out of scope; EXPERIMENTS.md
+// reports the shape-level comparisons only.
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Device models one accelerator.
+type Device struct {
+	// Name appears in reports (Table I).
+	Name string
+	// SMs is the number of blocks resident simultaneously (streaming
+	// multiprocessors); it caps host-goroutine concurrency.
+	SMs int
+	// ThreadsPerBlock is the block width; the paper uses 512.
+	ThreadsPerBlock int
+	// MemoryBytes is the device memory budget enforced by Malloc.
+	MemoryBytes int64
+	// TransferBytesPerSec is the simulated host↔device bandwidth used for
+	// transfer-time accounting (PCIe 4.0 x16 ≈ 2.5e10).
+	TransferBytesPerSec float64
+
+	allocated atomic.Int64
+	launches  atomic.Int64
+	bytesH2D  atomic.Int64
+	bytesD2H  atomic.Int64
+	// kernelNs accumulates wall time spent inside Launch.
+	kernelNs atomic.Int64
+}
+
+// RTX3090 returns the paper's benchmark GPU (Table I): 24 GB GDDR6X,
+// 82 SMs, 512-thread blocks.
+func RTX3090() *Device {
+	return &Device{
+		Name:                "NVIDIA RTX 3090 (simulated)",
+		SMs:                 82,
+		ThreadsPerBlock:     512,
+		MemoryBytes:         24 << 30,
+		TransferBytesPerSec: 2.5e10,
+	}
+}
+
+// SmallDevice returns a deliberately memory-starved device for exercising
+// the planner's seconds-per-sample degradation in tests and ablations.
+func SmallDevice(memoryBytes int64) *Device {
+	return &Device{
+		Name:                fmt.Sprintf("small-sim (%d MiB)", memoryBytes>>20),
+		SMs:                 8,
+		ThreadsPerBlock:     512,
+		MemoryBytes:         memoryBytes,
+		TransferBytesPerSec: 2.5e10,
+	}
+}
+
+// ErrOutOfMemory is returned when an allocation exceeds the device budget.
+type ErrOutOfMemory struct {
+	Requested, Free int64
+}
+
+// Error implements the error interface.
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("gpusim: out of device memory: requested %d bytes, %d free", e.Requested, e.Free)
+}
+
+// Buffer is a device allocation handle.
+type Buffer struct {
+	dev   *Device
+	bytes int64
+	freed atomic.Bool
+}
+
+// Malloc reserves bytes of device memory.
+func (d *Device) Malloc(bytes int64) (*Buffer, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("gpusim: negative allocation %d", bytes)
+	}
+	for {
+		cur := d.allocated.Load()
+		if cur+bytes > d.MemoryBytes {
+			return nil, &ErrOutOfMemory{Requested: bytes, Free: d.MemoryBytes - cur}
+		}
+		if d.allocated.CompareAndSwap(cur, cur+bytes) {
+			return &Buffer{dev: d, bytes: bytes}, nil
+		}
+	}
+}
+
+// Free releases the buffer; double frees are ignored.
+func (b *Buffer) Free() {
+	if b == nil || !b.freed.CompareAndSwap(false, true) {
+		return
+	}
+	b.dev.allocated.Add(-b.bytes)
+}
+
+// Bytes returns the allocation size.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Allocated returns the bytes currently reserved.
+func (d *Device) Allocated() int64 { return d.allocated.Load() }
+
+// FreeBytes returns the remaining budget.
+func (d *Device) FreeBytes() int64 { return d.MemoryBytes - d.allocated.Load() }
+
+// Launch executes a kernel over n logical threads, decomposed into blocks
+// of ThreadsPerBlock, with at most SMs blocks resident at once. The kernel
+// receives the global thread index. Launch blocks until every thread
+// completed (stream semantics with an implicit synchronize).
+func (d *Device) Launch(n int, kernel func(globalID int)) {
+	d.ParallelFor(n, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			kernel(t)
+		}
+	})
+}
+
+// ParallelFor adapts Launch to the range-chunk signature the detectors use:
+// each block becomes one fn(lo, hi) range. It makes *Device satisfy the
+// core detectors' Executor interface.
+func (d *Device) ParallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	d.launches.Add(1)
+	start := time.Now()
+	tpb := d.ThreadsPerBlock
+	if tpb <= 0 {
+		tpb = 512
+	}
+	blocks := (n + tpb - 1) / tpb
+	resident := d.SMs
+	if resident <= 0 {
+		resident = 1
+	}
+	if resident > blocks {
+		resident = blocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < resident; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				lo := b * tpb
+				hi := lo + tpb
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	d.kernelNs.Add(int64(time.Since(start)))
+}
+
+// Workers reports the concurrency the executor offers (for sizing scratch
+// structures); part of the core Executor interface.
+func (d *Device) Workers() int {
+	if d.SMs <= 0 {
+		return 1
+	}
+	return d.SMs
+}
+
+// ExecutorName identifies the backend in results.
+func (d *Device) ExecutorName() string { return d.Name }
+
+// TransferH2D accounts a host→device copy.
+func (d *Device) TransferH2D(bytes int64) { d.bytesH2D.Add(bytes) }
+
+// TransferD2H accounts a device→host copy.
+func (d *Device) TransferD2H(bytes int64) { d.bytesD2H.Add(bytes) }
+
+// Stats is a snapshot of the device counters.
+type Stats struct {
+	Launches     int64
+	BytesH2D     int64
+	BytesD2H     int64
+	KernelTime   time.Duration // wall time inside Launch/ParallelFor
+	TransferTime time.Duration // simulated copy time from the bandwidth model
+}
+
+// Stats returns the counter snapshot.
+func (d *Device) Stats() Stats {
+	s := Stats{
+		Launches:   d.launches.Load(),
+		BytesH2D:   d.bytesH2D.Load(),
+		BytesD2H:   d.bytesD2H.Load(),
+		KernelTime: time.Duration(d.kernelNs.Load()),
+	}
+	if d.TransferBytesPerSec > 0 {
+		secs := float64(s.BytesH2D+s.BytesD2H) / d.TransferBytesPerSec
+		s.TransferTime = time.Duration(secs * float64(time.Second))
+	}
+	return s
+}
+
+// ResetStats clears the counters (allocations are untouched).
+func (d *Device) ResetStats() {
+	d.launches.Store(0)
+	d.bytesH2D.Store(0)
+	d.bytesD2H.Store(0)
+	d.kernelNs.Store(0)
+}

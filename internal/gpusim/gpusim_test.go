@@ -1,0 +1,137 @@
+package gpusim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLaunchCoversAllThreads(t *testing.T) {
+	d := &Device{Name: "test", SMs: 4, ThreadsPerBlock: 32}
+	const n = 1000
+	var hits [n]atomic.Int32
+	d.Launch(n, func(id int) { hits[id].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("thread %d executed %d times", i, got)
+		}
+	}
+	if d.Stats().Launches != 1 {
+		t.Errorf("Launches = %d", d.Stats().Launches)
+	}
+}
+
+func TestLaunchZeroAndNegative(t *testing.T) {
+	d := &Device{SMs: 2, ThreadsPerBlock: 8}
+	d.Launch(0, func(int) { t.Error("kernel ran for n=0") })
+	d.Launch(-5, func(int) { t.Error("kernel ran for n<0") })
+	if d.Stats().Launches != 0 {
+		t.Error("empty launches counted")
+	}
+}
+
+func TestParallelForRangesDisjointAndComplete(t *testing.T) {
+	d := &Device{SMs: 3, ThreadsPerBlock: 7}
+	const n = 100
+	var hits [n]atomic.Int32
+	d.ParallelFor(n, func(lo, hi int) {
+		if hi-lo > 7 {
+			t.Errorf("range [%d,%d) wider than a block", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestDefaultsWhenUnset(t *testing.T) {
+	d := &Device{} // zero SMs / ThreadsPerBlock must not hang or panic
+	total := atomic.Int32{}
+	d.Launch(600, func(int) { total.Add(1) })
+	if total.Load() != 600 {
+		t.Errorf("executed %d threads, want 600", total.Load())
+	}
+	if d.Workers() != 1 {
+		t.Errorf("Workers = %d for zero-SM device", d.Workers())
+	}
+}
+
+func TestMallocBudget(t *testing.T) {
+	d := SmallDevice(1 << 20) // 1 MiB
+	b1, err := d.Malloc(512 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocated() != 512<<10 {
+		t.Errorf("Allocated = %d", d.Allocated())
+	}
+	if _, err := d.Malloc(768 << 10); err == nil {
+		t.Fatal("over-budget allocation accepted")
+	} else if oom, ok := err.(*ErrOutOfMemory); !ok {
+		t.Fatalf("err type %T", err)
+	} else if oom.Free != 512<<10 {
+		t.Errorf("reported free = %d", oom.Free)
+	}
+	b1.Free()
+	if d.Allocated() != 0 {
+		t.Errorf("Allocated after free = %d", d.Allocated())
+	}
+	b1.Free() // double free must be a no-op
+	if d.Allocated() != 0 {
+		t.Error("double free corrupted the budget")
+	}
+	if _, err := d.Malloc(-1); err == nil {
+		t.Error("negative allocation accepted")
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	d := RTX3090()
+	d.TransferH2D(1 << 30)
+	d.TransferD2H(1 << 29)
+	s := d.Stats()
+	if s.BytesH2D != 1<<30 || s.BytesD2H != 1<<29 {
+		t.Errorf("bytes = %d/%d", s.BytesH2D, s.BytesD2H)
+	}
+	if s.TransferTime <= 0 {
+		t.Error("no simulated transfer time")
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.BytesH2D != 0 || s.Launches != 0 || s.KernelTime != 0 {
+		t.Errorf("stats after reset: %+v", s)
+	}
+}
+
+func TestRTX3090Preset(t *testing.T) {
+	d := RTX3090()
+	if d.MemoryBytes != 24<<30 {
+		t.Errorf("memory = %d", d.MemoryBytes)
+	}
+	if d.ThreadsPerBlock != 512 {
+		t.Errorf("threads/block = %d, want the paper's 512", d.ThreadsPerBlock)
+	}
+	if d.Workers() != 82 {
+		t.Errorf("Workers = %d", d.Workers())
+	}
+}
+
+func TestKernelTimeAccumulates(t *testing.T) {
+	d := &Device{SMs: 2, ThreadsPerBlock: 64}
+	acc := atomic.Int64{}
+	d.Launch(10000, func(id int) { acc.Add(int64(id)) })
+	if d.Stats().KernelTime <= 0 {
+		t.Error("kernel time not recorded")
+	}
+}
+
+func BenchmarkLaunchOverhead(b *testing.B) {
+	d := RTX3090()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Launch(1024, func(int) {})
+	}
+}

@@ -1,0 +1,155 @@
+// Package hash implements the MurmurHash3 family of non-cryptographic hash
+// functions (Austin Appleby, public domain) used by the spatial grid to map
+// packed cell coordinates onto hash-map slots, exactly as the paper does.
+//
+// Two entry points matter on the hot path:
+//
+//   - Mix64: the 64-bit finaliser ("fmix64"). Cell keys are already packed
+//     into a single uint64, so the full streaming hash is unnecessary; the
+//     finaliser alone provides full avalanche for 64-bit inputs and is what
+//     the grid and conjunction hash sets use.
+//   - Sum128: the x64 128-bit MurmurHash3 for arbitrary byte strings, used
+//     where variable-length data (e.g. catalogue names) must be hashed and
+//     by tests as a reference for the finaliser's diffusion quality.
+package hash
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Mix64 applies the MurmurHash3 64-bit finaliser to x. It is a bijection on
+// uint64 with full avalanche behaviour: flipping any input bit flips each
+// output bit with probability ~1/2.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Unmix64 inverts Mix64. It exists to make the bijectivity property testable
+// and to allow debugging tools to recover cell keys from raw slot contents.
+func Unmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0x9cb4b2f8129337db // multiplicative inverse of 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	x *= 0x4f74430c22a54005 // multiplicative inverse of 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+const (
+	c1 = 0x87c37b91114253d5
+	c2 = 0x4cf5ad432745937f
+)
+
+// Sum128 computes the x64 128-bit MurmurHash3 of data with the given seed.
+func Sum128(data []byte, seed uint32) (uint64, uint64) {
+	h1 := uint64(seed)
+	h2 := uint64(seed)
+	n := len(data)
+
+	// Body: 16-byte blocks.
+	p := data
+	for len(p) >= 16 {
+		k1 := binary.LittleEndian.Uint64(p)
+		k2 := binary.LittleEndian.Uint64(p[8:])
+		p = p[16:]
+
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail.
+	var k1, k2 uint64
+	switch len(p) {
+	case 15:
+		k2 ^= uint64(p[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(p[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(p[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(p[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(p[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(p[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(p[8])
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(p[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(p[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(p[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(p[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(p[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(p[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(p[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(p[0])
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	// Finalisation.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = Mix64(h1)
+	h2 = Mix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+// Sum64 returns the first 64 bits of Sum128. Convenient for callers that
+// need a single-word hash of a byte string.
+func Sum64(data []byte, seed uint32) uint64 {
+	h1, _ := Sum128(data, seed)
+	return h1
+}

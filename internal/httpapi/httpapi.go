@@ -1,0 +1,236 @@
+// Package httpapi exposes the screening library as a JSON-over-HTTP
+// service — the deployment form a conjunction-assessment provider (the
+// paper's SSA context, §I/§III) would actually operate: catalogue in,
+// conjunction events out, with the variant and screening parameters chosen
+// per request.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	satconj "repro"
+	"repro/internal/orbit"
+)
+
+// Version is reported by GET /v1/version.
+const Version = "1.0.0"
+
+// maxRequestBytes bounds request bodies (a 1M-object population in JSON is
+// ~200 MB; default limit is far below that — operators batch-load via TLE
+// files, not JSON).
+const maxRequestBytes = 64 << 20
+
+// ElementsJSON is one object's orbit in the request body.
+type ElementsJSON struct {
+	ID            int32   `json:"id"`
+	SemiMajorAxis float64 `json:"semi_major_axis_km"`
+	Eccentricity  float64 `json:"eccentricity"`
+	Inclination   float64 `json:"inclination_rad"`
+	RAAN          float64 `json:"raan_rad"`
+	ArgPerigee    float64 `json:"arg_perigee_rad"`
+	MeanAnomaly   float64 `json:"mean_anomaly_rad"`
+}
+
+// GenerateJSON asks the server to synthesise a population instead of
+// supplying one.
+type GenerateJSON struct {
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+}
+
+// ScreenRequest is the POST /v1/screen body.
+type ScreenRequest struct {
+	// Satellites supplies the population explicitly…
+	Satellites []ElementsJSON `json:"satellites,omitempty"`
+	// …or Generate synthesises one server-side (exactly one of the two).
+	Generate *GenerateJSON `json:"generate,omitempty"`
+
+	Variant          string  `json:"variant,omitempty"` // grid | hybrid | legacy
+	ThresholdKm      float64 `json:"threshold_km,omitempty"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+	SecondsPerSample float64 `json:"seconds_per_sample,omitempty"`
+	UseJ2            bool    `json:"use_j2,omitempty"`
+	// EventTolSeconds merges multi-step duplicates; 0 keeps raw
+	// conjunctions.
+	EventTolSeconds float64 `json:"event_tol_seconds,omitempty"`
+	// SigmaKm, when positive, widens the screen by per-object position
+	// uncertainty and adds collision probabilities to the response.
+	SigmaKm float64 `json:"sigma_km,omitempty"`
+	// HardBodyKm is the combined hard-body radius for the probability
+	// computation; 0 selects 0.01 km.
+	HardBodyKm float64 `json:"hard_body_km,omitempty"`
+}
+
+// ConjunctionJSON is one reported event.
+type ConjunctionJSON struct {
+	A   int32   `json:"a"`
+	B   int32   `json:"b"`
+	TCA float64 `json:"tca_seconds"`
+	PCA float64 `json:"pca_km"`
+	// Pc and Bucket are filled when the request carried sigma_km.
+	Pc     float64 `json:"pc,omitempty"`
+	Bucket string  `json:"bucket,omitempty"`
+}
+
+// ScreenResponse is the POST /v1/screen reply.
+type ScreenResponse struct {
+	Variant        string            `json:"variant"`
+	Backend        string            `json:"backend"`
+	Objects        int               `json:"objects"`
+	Conjunctions   []ConjunctionJSON `json:"conjunctions"`
+	UniquePairs    int               `json:"unique_pairs"`
+	CandidatePairs int               `json:"candidate_pairs"`
+	Refinements    int               `json:"refinements"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+}
+
+// errorJSON is every error reply's shape.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the API.
+type Handler struct {
+	mux *http.ServeMux
+	// MaxObjects bounds accepted population sizes (0 = 100,000).
+	maxObjects int
+}
+
+// New returns a ready-to-serve handler. maxObjects ≤ 0 selects 100,000.
+func New(maxObjects int) *Handler {
+	if maxObjects <= 0 {
+		maxObjects = 100000
+	}
+	h := &Handler{mux: http.NewServeMux(), maxObjects: maxObjects}
+	h.mux.HandleFunc("GET /v1/health", h.health)
+	h.mux.HandleFunc("GET /v1/version", h.version)
+	h.mux.HandleFunc("POST /v1/screen", h.screen)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) version(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"version": Version,
+		"paper":   "Satellite Collision Detection using Spatial Data Structures (IPPS 2023)",
+	})
+}
+
+func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
+	var req ScreenRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+
+	sats, status, err := h.population(req)
+	if err != nil {
+		writeJSON(w, status, errorJSON{Error: err.Error()})
+		return
+	}
+	variant := satconj.Variant(strings.ToLower(req.Variant))
+	if req.Variant == "" {
+		variant = satconj.VariantHybrid
+	}
+	start := time.Now()
+	opts := satconj.Options{
+		Variant:          variant,
+		ThresholdKm:      req.ThresholdKm,
+		DurationSeconds:  req.DurationSeconds,
+		SecondsPerSample: req.SecondsPerSample,
+		UseJ2:            req.UseJ2,
+	}
+	if req.SigmaKm > 0 {
+		opts.Uncertainty = satconj.UniformUncertainty(req.SigmaKm)
+	}
+	res, err := satconj.Screen(sats, opts)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: err.Error()})
+		return
+	}
+	conjs := res.Conjunctions
+	if req.EventTolSeconds > 0 {
+		conjs = res.Events(req.EventTolSeconds)
+	}
+	out := ScreenResponse{
+		Variant:        string(res.Variant),
+		Backend:        res.Backend,
+		Objects:        len(sats),
+		Conjunctions:   make([]ConjunctionJSON, len(conjs)),
+		UniquePairs:    res.UniquePairs(),
+		CandidatePairs: res.Stats.CandidatePairs,
+		Refinements:    res.Stats.Refinements,
+		ElapsedSeconds: time.Since(start).Seconds(),
+	}
+	hardBody := req.HardBodyKm
+	if hardBody <= 0 {
+		hardBody = 0.01
+	}
+	for i, c := range conjs {
+		cj := ConjunctionJSON{A: c.A, B: c.B, TCA: c.TCA, PCA: c.PCA}
+		if req.SigmaKm > 0 {
+			if a, err := satconj.CollisionProbability(c, req.SigmaKm, req.SigmaKm, hardBody); err == nil {
+				cj.Pc, cj.Bucket = a.Pc, a.Category
+			}
+		}
+		out.Conjunctions[i] = cj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// population materialises the request's population.
+func (h *Handler) population(req ScreenRequest) ([]satconj.Satellite, int, error) {
+	switch {
+	case req.Generate != nil && len(req.Satellites) > 0:
+		return nil, http.StatusBadRequest, fmt.Errorf("supply either satellites or generate, not both")
+	case req.Generate != nil:
+		if req.Generate.N > h.maxObjects {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("population %d exceeds server limit %d", req.Generate.N, h.maxObjects)
+		}
+		sats, err := satconj.GeneratePopulation(satconj.PopulationConfig{N: req.Generate.N, Seed: req.Generate.Seed})
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, err
+		}
+		return sats, 0, nil
+	case len(req.Satellites) > 0:
+		if len(req.Satellites) > h.maxObjects {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("population %d exceeds server limit %d", len(req.Satellites), h.maxObjects)
+		}
+		sats := make([]satconj.Satellite, 0, len(req.Satellites))
+		for i, e := range req.Satellites {
+			s, err := satconj.NewSatellite(e.ID, orbit.Elements{
+				SemiMajorAxis: e.SemiMajorAxis,
+				Eccentricity:  e.Eccentricity,
+				Inclination:   e.Inclination,
+				RAAN:          e.RAAN,
+				ArgPerigee:    e.ArgPerigee,
+				MeanAnomaly:   e.MeanAnomaly,
+			})
+			if err != nil {
+				return nil, http.StatusUnprocessableEntity, fmt.Errorf("satellite %d: %w", i, err)
+			}
+			sats = append(sats, s)
+		}
+		return sats, 0, nil
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("request needs satellites or generate")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

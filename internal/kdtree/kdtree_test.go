@@ -1,0 +1,196 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/vec3"
+)
+
+func randomPoints(n int, seed uint64, extent float64) []Point {
+	rng := mathx.NewSplitMix64(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			ID:  int32(i),
+			Pos: vec3.New(rng.UniformRange(-extent, extent), rng.UniformRange(-extent, extent), rng.UniformRange(-extent, extent)),
+		}
+	}
+	return pts
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	if got := Build(nil).Len(); got != 0 {
+		t.Errorf("empty tree Len = %d", got)
+	}
+	tr := Build([]Point{{ID: 7, Pos: vec3.New(1, 2, 3)}})
+	got := tr.InRadius(vec3.New(1, 2, 3), 0.1, nil)
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("single-point query = %v", got)
+	}
+}
+
+func TestInRadiusMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 3, 100)
+	orig := make([]Point, len(pts))
+	copy(orig, pts)
+	tr := Build(pts)
+
+	rng := mathx.NewSplitMix64(9)
+	for q := 0; q < 50; q++ {
+		center := vec3.New(rng.UniformRange(-100, 100), rng.UniformRange(-100, 100), rng.UniformRange(-100, 100))
+		radius := rng.UniformRange(1, 60)
+		want := map[int32]bool{}
+		for _, p := range orig {
+			if p.Pos.Dist(center) <= radius {
+				want[p.ID] = true
+			}
+		}
+		got := tr.InRadius(center, radius, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d points, want %d", q, len(got), len(want))
+		}
+		for _, p := range got {
+			if !want[p.ID] {
+				t.Fatalf("query %d: unexpected point %d", q, p.ID)
+			}
+		}
+	}
+}
+
+func TestInRadiusBoundaryInclusive(t *testing.T) {
+	tr := Build([]Point{{ID: 1, Pos: vec3.New(5, 0, 0)}})
+	if got := tr.InRadius(vec3.Zero, 5, nil); len(got) != 1 {
+		t.Error("point exactly at radius excluded")
+	}
+	if got := tr.InRadius(vec3.Zero, 4.999, nil); len(got) != 0 {
+		t.Error("point beyond radius included")
+	}
+}
+
+func TestPairsWithinMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(300, 5, 50)
+	orig := make([]Point, len(pts))
+	copy(orig, pts)
+	const radius = 10.0
+
+	want := map[[2]int32]bool{}
+	for i := range orig {
+		for j := i + 1; j < len(orig); j++ {
+			if orig[i].Pos.Dist(orig[j].Pos) <= radius {
+				a, b := orig[i].ID, orig[j].ID
+				if a > b {
+					a, b = b, a
+				}
+				want[[2]int32{a, b}] = true
+			}
+		}
+	}
+
+	got := map[[2]int32]int{}
+	Build(pts).PairsWithin(radius, func(a, b Point) {
+		lo, hi := a.ID, b.ID
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got[[2]int32{lo, hi}]++
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for pair, count := range got {
+		if !want[pair] {
+			t.Errorf("unexpected pair %v", pair)
+		}
+		if count != 1 {
+			t.Errorf("pair %v visited %d times, want exactly once", pair, count)
+		}
+	}
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	// Identical coordinates must not break the median partition.
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{ID: int32(i), Pos: vec3.New(1, 1, 1)}
+	}
+	tr := Build(pts)
+	if got := len(tr.InRadius(vec3.New(1, 1, 1), 0.5, nil)); got != 64 {
+		t.Errorf("recovered %d of 64 duplicate points", got)
+	}
+	n := 0
+	tr.PairsWithin(0.1, func(a, b Point) { n++ })
+	if n != 64*63/2 {
+		t.Errorf("duplicate-point pairs = %d, want %d", n, 64*63/2)
+	}
+}
+
+func TestPropQueryComplete(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts := randomPoints(100, seed, 20)
+		orig := make([]Point, len(pts))
+		copy(orig, pts)
+		tr := Build(pts)
+		got := tr.InRadius(vec3.Zero, 15, nil)
+		want := 0
+		for _, p := range orig {
+			if p.Pos.Norm() <= 15 {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildIsBalancedEnough(t *testing.T) {
+	// A median-split tree answers small-radius queries in ~log n node
+	// visits; verify indirectly by confirming query results on a sorted
+	// pathological input (pre-sorted inputs break naive pivot choices).
+	pts := make([]Point, 1024)
+	for i := range pts {
+		pts[i] = Point{ID: int32(i), Pos: vec3.New(float64(i), float64(i), float64(i))}
+	}
+	tr := Build(pts)
+	got := tr.InRadius(vec3.New(512, 512, 512), 2, nil)
+	var ids []int
+	for _, p := range got {
+		ids = append(ids, int(p.ID))
+	}
+	sort.Ints(ids)
+	if len(ids) != 3 || ids[0] != 511 || ids[2] != 513 {
+		t.Errorf("sorted-input query = %v, want [511 512 513]", ids)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	pts := randomPoints(10000, 1, 8000)
+	work := make([]Point, len(pts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, pts)
+		Build(work)
+	}
+}
+
+func BenchmarkInRadius(b *testing.B) {
+	pts := randomPoints(10000, 1, 8000)
+	tr := Build(pts)
+	rng := mathx.NewSplitMix64(4)
+	var buf []Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := vec3.New(rng.UniformRange(-8000, 8000), rng.UniformRange(-8000, 8000), rng.UniformRange(-8000, 8000))
+		buf = tr.InRadius(c, 50, buf[:0])
+	}
+	if len(buf) == math.MaxInt {
+		b.Fatal("unreachable")
+	}
+}

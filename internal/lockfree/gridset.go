@@ -1,0 +1,252 @@
+// Package lockfree provides the non-blocking atomic hash structures of
+// §IV-A: a fixed-size grid hash set whose slots are claimed with
+// compare-and-swap and probed linearly (Eq. 2), with one preallocated
+// satellite entry per object chained into per-cell singly-linked lists
+// (Fig. 6); and a fixed-size conjunction pair set keyed by packed
+// (satellite, satellite, sampling step) triples.
+//
+// Both structures are insert-only between explicit resets, which is exactly
+// the access pattern of the detection pipeline: a parallel insertion phase
+// followed by a parallel read phase. All mutation goes through sync/atomic
+// operations, so the structures are safe for any number of concurrent
+// inserters without locks — the property that lets the paper saturate GPU
+// and CPU hardware.
+package lockfree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hash"
+	"repro/internal/vec3"
+)
+
+// EmptySlot is the reserved key marking an unoccupied slot: "the maximum of
+// a 64-bit value as a unique value that indicates an empty slot" (§IV-A1).
+// Packed spatial keys always have their top bit clear, so no real key can
+// collide with it.
+const EmptySlot = ^uint64(0)
+
+// nilEntry terminates a cell's entry list.
+const nilEntry int32 = -1
+
+// ErrFull is returned when an insertion cannot find a free slot. Callers
+// grow the structure and retry (the detectors double capacity, mirroring the
+// paper's "double the hash map size again" sizing rule).
+var ErrFull = errors.New("lockfree: hash structure full")
+
+// Entry is one satellite's record inside a grid cell — the Fig. 6 layout:
+// the satellite's identifier, its Cartesian position at the current sampling
+// step, and the index of the next entry in the same cell. Entries are
+// preallocated in one contiguous arena ("each satellite produces exactly one
+// of these entries, so we can allocate them in advance").
+type Entry struct {
+	ID   int32
+	next int32
+	Pos  vec3.V
+}
+
+// GridSet is the non-blocking grid hash set. A slot holds the packed cell
+// key; a parallel array holds the head of that cell's entry list.
+type GridSet struct {
+	keys    []atomic.Uint64
+	heads   []atomic.Int32
+	entries []Entry
+	mask    uint64 // len(keys) - 1; capacity is a power of two
+	probes  atomic.Uint64
+	inserts atomic.Uint64
+}
+
+// NewGridSet returns a grid set with at least slotHint slots (rounded up to
+// a power of two; the paper uses 2× the satellite count) and room for
+// maxEntries satellite entries.
+func NewGridSet(slotHint, maxEntries int) *GridSet {
+	if slotHint < 2 {
+		slotHint = 2
+	}
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	n := 1
+	for n < slotHint {
+		n <<= 1
+	}
+	g := &GridSet{
+		keys:    make([]atomic.Uint64, n),
+		heads:   make([]atomic.Int32, n),
+		entries: make([]Entry, maxEntries),
+		mask:    uint64(n - 1),
+	}
+	g.Reset()
+	return g
+}
+
+// Slots returns the slot capacity.
+func (g *GridSet) Slots() int { return len(g.keys) }
+
+// EntryCapacity returns the size of the preallocated entry arena.
+func (g *GridSet) EntryCapacity() int { return len(g.entries) }
+
+// Reset marks every slot empty and clears the instrumentation counters so
+// the set can be reused for the next sampling step without reallocation.
+func (g *GridSet) Reset() {
+	for i := range g.keys {
+		g.keys[i].Store(EmptySlot)
+		g.heads[i].Store(nilEntry)
+	}
+	g.probes.Store(0)
+	g.inserts.Store(0)
+}
+
+// ResetParallel is Reset split across the given number of goroutines; with
+// millions of slots the memset dominates per-step cost otherwise.
+func (g *GridSet) ResetParallel(workers int) {
+	if workers <= 1 || len(g.keys) < 1<<14 {
+		g.Reset()
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(g.keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(g.keys) {
+			hi = len(g.keys)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				g.keys[i].Store(EmptySlot)
+				g.heads[i].Store(nilEntry)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	g.probes.Store(0)
+	g.inserts.Store(0)
+}
+
+// Insert records the satellite with identifier id at position pos into the
+// cell with packed key cellKey, writing its record into entry arena slot
+// entryIdx (each inserter owns a distinct index — the detectors use the
+// satellite's population index). Safe for concurrent use.
+//
+// The slot walk implements §IV-A2: CAS the key into an empty slot; if the
+// CAS loses, re-inspect — a stored equal key means we found our cell and
+// push onto its list, a different key is a hash collision resolved by
+// linear probing (Eq. 2).
+func (g *GridSet) Insert(cellKey uint64, entryIdx int32, id int32, pos vec3.V) error {
+	if cellKey == EmptySlot {
+		return fmt.Errorf("lockfree: cell key %#x is the reserved empty sentinel", cellKey)
+	}
+	if int(entryIdx) >= len(g.entries) || entryIdx < 0 {
+		return fmt.Errorf("lockfree: entry index %d outside arena of %d", entryIdx, len(g.entries))
+	}
+	e := &g.entries[entryIdx]
+	e.ID = id
+	e.Pos = pos
+
+	slot := hash.Mix64(cellKey) & g.mask
+	g.inserts.Add(1)
+	for probed := uint64(0); probed <= g.mask; probed++ {
+		g.probes.Add(1)
+		k := g.keys[slot].Load()
+		if k == EmptySlot {
+			if g.keys[slot].CompareAndSwap(EmptySlot, cellKey) {
+				g.push(slot, entryIdx)
+				return nil
+			}
+			// Lost the race; re-inspect the same slot — the winner's key
+			// may be ours.
+			k = g.keys[slot].Load()
+		}
+		if k == cellKey {
+			g.push(slot, entryIdx)
+			return nil
+		}
+		slot = (slot + 1) & g.mask // Eq. 2: s_{i+1} = s_i + 1 mod M
+	}
+	return ErrFull
+}
+
+// push prepends entry entryIdx to the list at slot (Treiber push; the list
+// is never popped, only reset wholesale).
+func (g *GridSet) push(slot uint64, entryIdx int32) {
+	h := &g.heads[slot]
+	for {
+		old := h.Load()
+		g.entries[entryIdx].next = old
+		if h.CompareAndSwap(old, entryIdx) {
+			return
+		}
+	}
+}
+
+// Head returns the index of the first entry of the cell with the given key,
+// or -1 when the cell is empty. Intended for the read phase, after all
+// insertions completed.
+func (g *GridSet) Head(cellKey uint64) int32 {
+	slot := hash.Mix64(cellKey) & g.mask
+	for probed := uint64(0); probed <= g.mask; probed++ {
+		k := g.keys[slot].Load()
+		if k == EmptySlot {
+			return nilEntry
+		}
+		if k == cellKey {
+			return g.heads[slot].Load()
+		}
+		slot = (slot + 1) & g.mask
+	}
+	return nilEntry
+}
+
+// Entry returns the entry at arena index i. The next-link is exposed via
+// Next.
+func (g *GridSet) Entry(i int32) *Entry { return &g.entries[i] }
+
+// Next returns the arena index of the entry following i in its cell list,
+// or -1 at the end.
+func (g *GridSet) Next(i int32) int32 { return g.entries[i].next }
+
+// SlotKey returns the cell key stored in slot s (EmptySlot if unoccupied)
+// and the head entry index of its list. It powers the parallel
+// slot-range scan of the conjunction-detection phase (§IV-A3): workers
+// partition [0, Slots()) and process occupied slots independently.
+func (g *GridSet) SlotKey(s int) (key uint64, head int32) {
+	return g.keys[s].Load(), g.heads[s].Load()
+}
+
+// Stats reports instrumentation counters for the current fill.
+type Stats struct {
+	Slots        int     // slot capacity
+	Inserts      uint64  // insertions since the last reset
+	Probes       uint64  // total probe steps since the last reset
+	AvgProbes    float64 // probes per insertion
+	OccupiedSlot int     // number of occupied slots (distinct cells)
+}
+
+// Stats scans the table and returns fill statistics.
+func (g *GridSet) Stats() Stats {
+	occ := 0
+	for i := range g.keys {
+		if g.keys[i].Load() != EmptySlot {
+			occ++
+		}
+	}
+	ins := g.inserts.Load()
+	st := Stats{
+		Slots:        len(g.keys),
+		Inserts:      ins,
+		Probes:       g.probes.Load(),
+		OccupiedSlot: occ,
+	}
+	if ins > 0 {
+		st.AvgProbes = float64(st.Probes) / float64(ins)
+	}
+	return st
+}

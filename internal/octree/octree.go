@@ -1,0 +1,261 @@
+// Package octree implements a point octree over satellite positions — the
+// second alternative spatial index the paper dismisses alongside k-d trees
+// (§IV-A: "grids (e.g., in the form of hash maps) are superior to data
+// structures such as octrees or Kd-tree. These must be recreated each time
+// an object moves"). Like package kdtree, it exists to make the claim
+// measurable: build-per-step plus radius queries versus the grid's
+// reset+insert+scan (see the core package's ablation benchmarks).
+//
+// The tree subdivides a cubic region into eight children until a leaf
+// holds at most LeafCapacity points. Points are stored in a flat arena;
+// nodes reference contiguous index ranges after a counting-sort style
+// partition, so construction performs no per-node slice allocation.
+package octree
+
+import (
+	"repro/internal/vec3"
+)
+
+// Point is one indexed satellite position.
+type Point struct {
+	ID  int32
+	Pos vec3.V
+}
+
+// LeafCapacity is the split threshold: a node with more points subdivides
+// (unless MaxDepth is reached).
+const LeafCapacity = 16
+
+// MaxDepth bounds subdivision (protects against many coincident points).
+const MaxDepth = 12
+
+// Tree is a static point octree.
+type Tree struct {
+	pts   []Point
+	nodes []node
+	// root cube
+	center vec3.V
+	half   float64
+}
+
+// node covers pts[lo:hi]; children[k] indexes nodes (or -1).
+type node struct {
+	lo, hi   int32
+	children [8]int32
+	leaf     bool
+}
+
+// Build constructs the tree over pts (reordered in place). The root cube
+// is the tight bounding cube of the points, expanded slightly so boundary
+// points stay strictly inside.
+func Build(pts []Point) *Tree {
+	t := &Tree{pts: pts}
+	if len(pts) == 0 {
+		return t
+	}
+	// Bounding cube.
+	min := pts[0].Pos
+	max := pts[0].Pos
+	for _, p := range pts[1:] {
+		if p.Pos.X < min.X {
+			min.X = p.Pos.X
+		}
+		if p.Pos.Y < min.Y {
+			min.Y = p.Pos.Y
+		}
+		if p.Pos.Z < min.Z {
+			min.Z = p.Pos.Z
+		}
+		if p.Pos.X > max.X {
+			max.X = p.Pos.X
+		}
+		if p.Pos.Y > max.Y {
+			max.Y = p.Pos.Y
+		}
+		if p.Pos.Z > max.Z {
+			max.Z = p.Pos.Z
+		}
+	}
+	t.center = min.Add(max).Scale(0.5)
+	t.half = 0.5 * maxf(max.X-min.X, maxf(max.Y-min.Y, max.Z-min.Z))
+	t.half = t.half*1.0001 + 1e-9
+	t.nodes = make([]node, 0, 2*len(pts)/LeafCapacity+8)
+	t.buildNode(0, len(pts), t.center, t.half, 0)
+	return t
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildNode partitions pts[lo:hi] into octants of the cube (center, half)
+// and returns the node index.
+func (t *Tree) buildNode(lo, hi int, center vec3.V, half float64, depth int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{lo: int32(lo), hi: int32(hi)})
+	if hi-lo <= LeafCapacity || depth >= MaxDepth {
+		n := &t.nodes[idx]
+		n.leaf = true
+		for k := range n.children {
+			n.children[k] = -1
+		}
+		return idx
+	}
+	// Octant of a point.
+	oct := func(p vec3.V) int {
+		o := 0
+		if p.X >= center.X {
+			o |= 1
+		}
+		if p.Y >= center.Y {
+			o |= 2
+		}
+		if p.Z >= center.Z {
+			o |= 4
+		}
+		return o
+	}
+	// Counting sort into octants.
+	var counts [8]int
+	for i := lo; i < hi; i++ {
+		counts[oct(t.pts[i].Pos)]++
+	}
+	var starts, cursors [8]int
+	s := lo
+	for k := 0; k < 8; k++ {
+		starts[k] = s
+		cursors[k] = s
+		s += counts[k]
+	}
+	// Cycle-based in-place permutation.
+	for k := 0; k < 8; k++ {
+		for cursors[k] < starts[k]+counts[k] {
+			i := cursors[k]
+			o := oct(t.pts[i].Pos)
+			if o == k {
+				cursors[k]++
+				continue
+			}
+			t.pts[i], t.pts[cursors[o]] = t.pts[cursors[o]], t.pts[i]
+			cursors[o]++
+		}
+	}
+	// Recurse.
+	var children [8]int32
+	q := half / 2
+	for k := 0; k < 8; k++ {
+		if counts[k] == 0 {
+			children[k] = -1
+			continue
+		}
+		cc := center
+		if k&1 != 0 {
+			cc.X += q
+		} else {
+			cc.X -= q
+		}
+		if k&2 != 0 {
+			cc.Y += q
+		} else {
+			cc.Y -= q
+		}
+		if k&4 != 0 {
+			cc.Z += q
+		} else {
+			cc.Z -= q
+		}
+		children[k] = t.buildNode(starts[k], starts[k]+counts[k], cc, q, depth+1)
+	}
+	n := &t.nodes[idx]
+	n.children = children
+	return idx
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// InRadius appends every point within radius of center to dst.
+func (t *Tree) InRadius(center vec3.V, radius float64, dst []Point) []Point {
+	if len(t.pts) == 0 {
+		return dst
+	}
+	return t.query(0, t.center, t.half, center, radius, radius*radius, dst)
+}
+
+func (t *Tree) query(ni int32, nodeCenter vec3.V, half float64, center vec3.V, r, r2 float64, dst []Point) []Point {
+	n := &t.nodes[ni]
+	// Cube/ball rejection test.
+	dx := absf(center.X-nodeCenter.X) - half
+	dy := absf(center.Y-nodeCenter.Y) - half
+	dz := absf(center.Z-nodeCenter.Z) - half
+	d2 := 0.0
+	if dx > 0 {
+		d2 += dx * dx
+	}
+	if dy > 0 {
+		d2 += dy * dy
+	}
+	if dz > 0 {
+		d2 += dz * dz
+	}
+	if d2 > r2 {
+		return dst
+	}
+	if n.leaf {
+		for i := n.lo; i < n.hi; i++ {
+			if t.pts[i].Pos.Dist2(center) <= r2 {
+				dst = append(dst, t.pts[i])
+			}
+		}
+		return dst
+	}
+	q := half / 2
+	for k := 0; k < 8; k++ {
+		ci := n.children[k]
+		if ci < 0 {
+			continue
+		}
+		cc := nodeCenter
+		if k&1 != 0 {
+			cc.X += q
+		} else {
+			cc.X -= q
+		}
+		if k&2 != 0 {
+			cc.Y += q
+		} else {
+			cc.Y -= q
+		}
+		if k&4 != 0 {
+			cc.Z += q
+		} else {
+			cc.Z -= q
+		}
+		dst = t.query(ci, cc, q, center, r, r2, dst)
+	}
+	return dst
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// PairsWithin calls fn for every unordered pair within radius, each pair
+// exactly once.
+func (t *Tree) PairsWithin(radius float64, fn func(a, b Point)) {
+	var buf []Point
+	for i := range t.pts {
+		buf = t.InRadius(t.pts[i].Pos, radius, buf[:0])
+		for _, q := range buf {
+			if q.ID > t.pts[i].ID {
+				fn(t.pts[i], q)
+			}
+		}
+	}
+}

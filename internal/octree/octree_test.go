@@ -1,0 +1,152 @@
+package octree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/vec3"
+)
+
+func randomPoints(n int, seed uint64, extent float64) []Point {
+	rng := mathx.NewSplitMix64(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			ID:  int32(i),
+			Pos: vec3.New(rng.UniformRange(-extent, extent), rng.UniformRange(-extent, extent), rng.UniformRange(-extent, extent)),
+		}
+	}
+	return pts
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if Build(nil).Len() != 0 {
+		t.Error("empty tree has points")
+	}
+	if got := Build(nil).InRadius(vec3.Zero, 10, nil); len(got) != 0 {
+		t.Error("empty tree answered a query")
+	}
+	tr := Build([]Point{{ID: 5, Pos: vec3.New(1, 2, 3)}})
+	if got := tr.InRadius(vec3.New(1, 2, 3), 0.5, nil); len(got) != 1 || got[0].ID != 5 {
+		t.Errorf("single point query = %v", got)
+	}
+}
+
+func TestInRadiusMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(800, 11, 100)
+	orig := make([]Point, len(pts))
+	copy(orig, pts)
+	tr := Build(pts)
+	rng := mathx.NewSplitMix64(5)
+	for q := 0; q < 60; q++ {
+		center := vec3.New(rng.UniformRange(-120, 120), rng.UniformRange(-120, 120), rng.UniformRange(-120, 120))
+		radius := rng.UniformRange(1, 80)
+		want := map[int32]bool{}
+		for _, p := range orig {
+			if p.Pos.Dist(center) <= radius {
+				want[p.ID] = true
+			}
+		}
+		got := tr.InRadius(center, radius, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+		for _, p := range got {
+			if !want[p.ID] {
+				t.Fatalf("query %d: unexpected point %d", q, p.ID)
+			}
+		}
+	}
+}
+
+func TestPairsWithinMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(250, 3, 40)
+	orig := make([]Point, len(pts))
+	copy(orig, pts)
+	const radius = 8.0
+	want := map[[2]int32]bool{}
+	for i := range orig {
+		for j := i + 1; j < len(orig); j++ {
+			if orig[i].Pos.Dist(orig[j].Pos) <= radius {
+				want[[2]int32{orig[i].ID, orig[j].ID}] = true
+			}
+		}
+	}
+	got := map[[2]int32]int{}
+	Build(pts).PairsWithin(radius, func(a, b Point) {
+		lo, hi := a.ID, b.ID
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got[[2]int32{lo, hi}]++
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for p, c := range got {
+		if !want[p] || c != 1 {
+			t.Errorf("pair %v count %d", p, c)
+		}
+	}
+}
+
+func TestCoincidentPointsDepthBound(t *testing.T) {
+	// Coincident points cannot be separated by subdivision; MaxDepth must
+	// stop the recursion and keep them in one leaf.
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{ID: int32(i), Pos: vec3.New(7, 7, 7)}
+	}
+	tr := Build(pts)
+	if got := len(tr.InRadius(vec3.New(7, 7, 7), 0.1, nil)); got != 200 {
+		t.Errorf("recovered %d of 200 coincident points", got)
+	}
+}
+
+func TestAllPointsPreserved(t *testing.T) {
+	// The in-place octant partition must not lose or duplicate points.
+	pts := randomPoints(1000, 9, 50)
+	tr := Build(pts)
+	seen := map[int32]bool{}
+	for _, p := range tr.pts {
+		if seen[p.ID] {
+			t.Fatalf("point %d duplicated by partition", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("%d points after build, want 1000", len(seen))
+	}
+}
+
+func TestPropQueriesComplete(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts := randomPoints(120, seed, 30)
+		orig := make([]Point, len(pts))
+		copy(orig, pts)
+		tr := Build(pts)
+		got := tr.InRadius(vec3.Zero, 20, nil)
+		want := 0
+		for _, p := range orig {
+			if p.Pos.Norm() <= 20 {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	pts := randomPoints(10000, 1, 8000)
+	work := make([]Point, len(pts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, pts)
+		Build(work)
+	}
+}

@@ -1,0 +1,277 @@
+// Package orbit defines Keplerian orbital elements and the orbital-mechanics
+// primitives the conjunction-detection pipeline is built on: anomaly
+// conversions, the perifocal→geocentric-equatorial (ECI) transformation,
+// orbit geometry (apsides, period, plane normals, mutual node lines), and
+// recovery of elements from a Cartesian state vector.
+//
+// Units follow the paper: kilometres, seconds, radians. The gravitational
+// parameter is that of Earth; the simulation space is the geocentric cube of
+// ±42,500 km per axis (the "(85,000 km)³" space of §IV-A).
+package orbit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/vec3"
+)
+
+// Physical constants (km, s).
+const (
+	// MuEarth is Earth's standard gravitational parameter in km³/s².
+	MuEarth = 398600.4418
+	// EarthRadius is Earth's equatorial radius in km.
+	EarthRadius = 6378.1363
+	// J2 is Earth's second zonal harmonic coefficient (dimensionless).
+	J2 = 1.0826267e-3
+	// LEOSpeed is the typical low-Earth-orbit speed in km/s used by the
+	// paper's cell-size rule (Eq. 1).
+	LEOSpeed = 7.8
+)
+
+// Elements are the six classical Keplerian elements describing an elliptical
+// orbit and a position on it at the reference epoch t = 0.
+type Elements struct {
+	SemiMajorAxis float64 // a, km; must be positive
+	Eccentricity  float64 // e, dimensionless; 0 ≤ e < 1 (elliptical only)
+	Inclination   float64 // i, rad; 0 ≤ i ≤ π
+	RAAN          float64 // Ω, right ascension of the ascending node, rad
+	ArgPerigee    float64 // ω, argument of perigee, rad
+	MeanAnomaly   float64 // M₀, mean anomaly at epoch, rad
+}
+
+// Validate reports whether the elements describe a bound elliptical orbit
+// this library can handle.
+func (el Elements) Validate() error {
+	switch {
+	case math.IsNaN(el.SemiMajorAxis) || el.SemiMajorAxis <= 0:
+		return fmt.Errorf("orbit: semi-major axis %g must be positive", el.SemiMajorAxis)
+	case math.IsNaN(el.Eccentricity) || el.Eccentricity < 0 || el.Eccentricity >= 1:
+		return fmt.Errorf("orbit: eccentricity %g must be in [0,1)", el.Eccentricity)
+	case math.IsNaN(el.Inclination) || el.Inclination < 0 || el.Inclination > math.Pi+1e-12:
+		return fmt.Errorf("orbit: inclination %g must be in [0,π]", el.Inclination)
+	case math.IsNaN(el.RAAN) || math.IsNaN(el.ArgPerigee) || math.IsNaN(el.MeanAnomaly):
+		return errors.New("orbit: angular element is NaN")
+	case el.PerigeeRadius() <= EarthRadius:
+		return fmt.Errorf("orbit: perigee radius %.1f km is below Earth's surface", el.PerigeeRadius())
+	}
+	return nil
+}
+
+// MeanMotion returns n = √(μ/a³) in rad/s.
+func (el Elements) MeanMotion() float64 {
+	a := el.SemiMajorAxis
+	return math.Sqrt(MuEarth / (a * a * a))
+}
+
+// Period returns the orbital period 2π/n in seconds.
+func (el Elements) Period() float64 { return mathx.TwoPi / el.MeanMotion() }
+
+// ApogeeRadius returns the geocentric apogee distance a(1+e) in km.
+func (el Elements) ApogeeRadius() float64 {
+	return el.SemiMajorAxis * (1 + el.Eccentricity)
+}
+
+// PerigeeRadius returns the geocentric perigee distance a(1−e) in km.
+func (el Elements) PerigeeRadius() float64 {
+	return el.SemiMajorAxis * (1 - el.Eccentricity)
+}
+
+// SemiLatusRectum returns p = a(1−e²) in km.
+func (el Elements) SemiLatusRectum() float64 {
+	return el.SemiMajorAxis * (1 - el.Eccentricity*el.Eccentricity)
+}
+
+// RadiusAtTrueAnomaly returns the geocentric distance r = p/(1+e·cos f).
+func (el Elements) RadiusAtTrueAnomaly(f float64) float64 {
+	return el.SemiLatusRectum() / (1 + el.Eccentricity*math.Cos(f))
+}
+
+// Normal returns the unit normal of the orbital plane in ECI coordinates,
+// ĥ = (sin i · sin Ω, −sin i · cos Ω, cos i).
+func (el Elements) Normal() vec3.V {
+	si, ci := math.Sincos(el.Inclination)
+	sO, cO := math.Sincos(el.RAAN)
+	return vec3.V{X: si * sO, Y: -si * cO, Z: ci}
+}
+
+// Basis returns the perifocal unit basis vectors expressed in ECI: P̂ points
+// at perigee, Q̂ is 90° ahead in the direction of motion. A position at true
+// anomaly f is r·(cos f·P̂ + sin f·Q̂); this is the per-satellite
+// precomputation the propagator caches (the paper's "Kepler solver data").
+func (el Elements) Basis() (p, q vec3.V) {
+	p = vec3.V{X: 1}.RotZ(el.ArgPerigee).RotX(el.Inclination).RotZ(el.RAAN)
+	q = vec3.V{Y: 1}.RotZ(el.ArgPerigee).RotX(el.Inclination).RotZ(el.RAAN)
+	return p, q
+}
+
+// EccentricFromTrue converts true anomaly f to eccentric anomaly E.
+func (el Elements) EccentricFromTrue(f float64) float64 {
+	e := el.Eccentricity
+	return mathx.NormalizeAngle(2 * math.Atan2(
+		math.Sqrt(1-e)*math.Sin(f/2),
+		math.Sqrt(1+e)*math.Cos(f/2),
+	))
+}
+
+// TrueFromEccentric converts eccentric anomaly E to true anomaly f.
+func (el Elements) TrueFromEccentric(ecc float64) float64 {
+	e := el.Eccentricity
+	return mathx.NormalizeAngle(2 * math.Atan2(
+		math.Sqrt(1+e)*math.Sin(ecc/2),
+		math.Sqrt(1-e)*math.Cos(ecc/2),
+	))
+}
+
+// MeanFromEccentric applies Kepler's equation M = E − e·sin E.
+func (el Elements) MeanFromEccentric(ecc float64) float64 {
+	return mathx.NormalizeAngle(ecc - el.Eccentricity*math.Sin(ecc))
+}
+
+// StateAtTrueAnomaly returns ECI position (km) and velocity (km/s) at true
+// anomaly f.
+func (el Elements) StateAtTrueAnomaly(f float64) (pos, vel vec3.V) {
+	p, q := el.Basis()
+	return el.StateAtTrueAnomalyBasis(f, p, q)
+}
+
+// StateAtTrueAnomalyBasis is StateAtTrueAnomaly with the perifocal basis
+// supplied by the caller, avoiding the rotation recomputation on hot paths.
+func (el Elements) StateAtTrueAnomalyBasis(f float64, p, q vec3.V) (pos, vel vec3.V) {
+	e := el.Eccentricity
+	sl := el.SemiLatusRectum()
+	sf, cf := math.Sincos(f)
+	r := sl / (1 + e*cf)
+	pos = p.Scale(r * cf).Add(q.Scale(r * sf))
+	vfac := math.Sqrt(MuEarth / sl)
+	vel = p.Scale(-vfac * sf).Add(q.Scale(vfac * (e + cf)))
+	return pos, vel
+}
+
+// MutualNodeLine returns the unit vector along the intersection of the two
+// orbital planes (ĥ₁ × ĥ₂ normalised) and the relative inclination between
+// the planes in radians. For (near-)coplanar orbits the node line is
+// undefined; ok is false and callers must treat the pair as coplanar.
+func MutualNodeLine(a, b Elements, coplanarTol float64) (line vec3.V, relInc float64, ok bool) {
+	na, nb := a.Normal(), b.Normal()
+	relInc = na.Angle(nb)
+	// Coplanar either when the planes align or when they are anti-aligned.
+	if relInc < coplanarTol || math.Pi-relInc < coplanarTol {
+		return vec3.Zero, relInc, false
+	}
+	return na.Cross(nb).Unit(), relInc, true
+}
+
+// TrueAnomalyOfDirection returns the true anomaly at which the orbit's
+// position vector points along direction u (u is projected onto the orbital
+// plane first). Used by the orbit-path filter to evaluate each orbit at the
+// mutual nodes.
+func (el Elements) TrueAnomalyOfDirection(u vec3.V) float64 {
+	p, q := el.Basis()
+	return mathx.NormalizeAngle(math.Atan2(u.Dot(q), u.Dot(p)))
+}
+
+// FromStateVector recovers osculating Keplerian elements from an ECI
+// position (km) and velocity (km/s). It is the inverse of
+// StateAtTrueAnomaly composed with the anomaly conversions and is used by
+// the fragmentation-cloud generator (debris = parent state + Δv) and by
+// round-trip tests.
+//
+// Degenerate cases (parabolic/hyperbolic, rectilinear) return an error.
+// For exactly circular or equatorial orbits the conventional ambiguities are
+// resolved by folding the undefined angles into the defined ones (e.g. for a
+// circular orbit the argument of perigee is set to zero and the anomaly
+// measured from the node).
+func FromStateVector(r, v vec3.V) (Elements, error) {
+	rn := r.Norm()
+	vn := v.Norm()
+	if rn == 0 {
+		return Elements{}, errors.New("orbit: zero position vector")
+	}
+	h := r.Cross(v)
+	hn := h.Norm()
+	if hn < 1e-9 {
+		return Elements{}, errors.New("orbit: rectilinear trajectory (zero angular momentum)")
+	}
+
+	energy := vn*vn/2 - MuEarth/rn
+	if energy >= 0 {
+		return Elements{}, fmt.Errorf("orbit: trajectory is not bound (specific energy %.3f ≥ 0)", energy)
+	}
+	a := -MuEarth / (2 * energy)
+
+	// Eccentricity vector.
+	ev := v.Cross(h).Scale(1 / MuEarth).Sub(r.Unit())
+	e := ev.Norm()
+	if e >= 1 {
+		return Elements{}, fmt.Errorf("orbit: eccentricity %.6f ≥ 1", e)
+	}
+
+	inc := math.Acos(mathx.Clamp(h.Z/hn, -1, 1))
+
+	// Node vector (points at the ascending node).
+	node := vec3.V{X: -h.Y, Y: h.X} // ẑ × h
+	nn := node.Norm()
+
+	var raan, argp, trueAnom float64
+	const tiny = 1e-11
+	equatorial := nn < tiny*hn
+	circular := e < tiny
+
+	switch {
+	case !equatorial && !circular:
+		raan = mathx.NormalizeAngle(math.Atan2(node.Y, node.X))
+		// Argument of perigee: angle from node to eccentricity vector.
+		cosArgp := mathx.Clamp(node.Dot(ev)/(nn*e), -1, 1)
+		argp = math.Acos(cosArgp)
+		if ev.Z < 0 {
+			argp = mathx.TwoPi - argp
+		}
+		trueAnom = trueAnomalyFrom(ev, r, v, e)
+	case equatorial && !circular:
+		raan = 0
+		argp = mathx.NormalizeAngle(math.Atan2(ev.Y, ev.X))
+		if h.Z < 0 {
+			argp = mathx.NormalizeAngle(-argp)
+		}
+		trueAnom = trueAnomalyFrom(ev, r, v, e)
+	case !equatorial && circular:
+		raan = mathx.NormalizeAngle(math.Atan2(node.Y, node.X))
+		argp = 0
+		// Argument of latitude serves as the anomaly.
+		cosU := mathx.Clamp(node.Dot(r)/(nn*rn), -1, 1)
+		trueAnom = math.Acos(cosU)
+		if r.Z < 0 {
+			trueAnom = mathx.TwoPi - trueAnom
+		}
+	default: // equatorial && circular
+		raan = 0
+		argp = 0
+		trueAnom = mathx.NormalizeAngle(math.Atan2(r.Y, r.X))
+		if h.Z < 0 {
+			trueAnom = mathx.NormalizeAngle(-trueAnom)
+		}
+	}
+
+	el := Elements{
+		SemiMajorAxis: a,
+		Eccentricity:  e,
+		Inclination:   inc,
+		RAAN:          raan,
+		ArgPerigee:    argp,
+	}
+	el.MeanAnomaly = el.MeanFromEccentric(el.EccentricFromTrue(trueAnom))
+	return el, nil
+}
+
+// trueAnomalyFrom computes the true anomaly from the eccentricity vector.
+func trueAnomalyFrom(ev, r, v vec3.V, e float64) float64 {
+	cosF := mathx.Clamp(ev.Dot(r)/(e*r.Norm()), -1, 1)
+	f := math.Acos(cosF)
+	if r.Dot(v) < 0 {
+		f = mathx.TwoPi - f
+	}
+	return f
+}

@@ -1,0 +1,100 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/vec3"
+)
+
+// Edge-case coverage for FromStateVector's special orbit classes.
+
+func TestFromStateVectorEquatorialEccentric(t *testing.T) {
+	// Eccentric orbit in the equatorial plane: RAAN undefined → folded to
+	// zero, argument of perigee measured from x̂.
+	el := Elements{SemiMajorAxis: 9000, Eccentricity: 0.2, Inclination: 0, ArgPerigee: 1.1}
+	f := 0.7
+	pos, vel := el.StateAtTrueAnomaly(f)
+	got, err := FromStateVector(pos, vel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RAAN != 0 {
+		t.Errorf("RAAN = %v, want 0 for equatorial", got.RAAN)
+	}
+	if math.Abs(got.Eccentricity-0.2) > 1e-9 {
+		t.Errorf("e = %v", got.Eccentricity)
+	}
+	if mathx.AngleDiff(got.ArgPerigee, 1.1) > 1e-9 {
+		t.Errorf("ω = %v, want 1.1", got.ArgPerigee)
+	}
+	// Position must reconstruct.
+	fBack := got.TrueFromEccentric(eccFromMean(got))
+	posBack, _ := got.StateAtTrueAnomaly(fBack)
+	if pos.Dist(posBack) > 1e-3 {
+		t.Errorf("reconstruction off by %v km", pos.Dist(posBack))
+	}
+}
+
+func TestFromStateVectorRetrogradeEquatorialCircular(t *testing.T) {
+	// Circular equatorial retrograde (i = π): h points to −ẑ.
+	r := vec3.New(8000, 0, 0)
+	v := vec3.New(0, -math.Sqrt(MuEarth/8000), 0)
+	el, err := FromStateVector(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(el.Inclination-math.Pi) > 1e-9 {
+		t.Errorf("i = %v, want π", el.Inclination)
+	}
+	if el.Eccentricity > 1e-10 {
+		t.Errorf("e = %v", el.Eccentricity)
+	}
+	fBack := el.TrueFromEccentric(eccFromMean(el))
+	posBack, _ := el.StateAtTrueAnomaly(fBack)
+	if r.Dist(posBack) > 1e-3 {
+		t.Errorf("reconstruction off by %v km", r.Dist(posBack))
+	}
+}
+
+func TestFromStateVectorCircularInclinedDescending(t *testing.T) {
+	// Circular inclined orbit sampled below the equator (r.Z < 0) exercises
+	// the argument-of-latitude reflection branch.
+	el := Elements{SemiMajorAxis: 7500, Eccentricity: 0, Inclination: 1.0, RAAN: 0.5}
+	f := 4.0 // past the descending node: z < 0
+	pos, vel := el.StateAtTrueAnomaly(f)
+	if pos.Z >= 0 {
+		t.Fatalf("test construction: z = %v, want negative", pos.Z)
+	}
+	got, err := FromStateVector(pos, vel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Inclination-1.0) > 1e-9 {
+		t.Errorf("i = %v", got.Inclination)
+	}
+	fBack := got.TrueFromEccentric(eccFromMean(got))
+	posBack, _ := got.StateAtTrueAnomaly(fBack)
+	if pos.Dist(posBack) > 1e-3 {
+		t.Errorf("reconstruction off by %v km", pos.Dist(posBack))
+	}
+}
+
+func TestFromStateVectorInboundEccentric(t *testing.T) {
+	// r·v < 0 (flying toward perigee) exercises the anomaly reflection.
+	el := Elements{SemiMajorAxis: 9000, Eccentricity: 0.3, Inclination: 0.8, RAAN: 2, ArgPerigee: 3}
+	f := 5.0 // inbound half of the orbit
+	pos, vel := el.StateAtTrueAnomaly(f)
+	if pos.Dot(vel) >= 0 {
+		t.Fatalf("test construction: r·v = %v, want negative", pos.Dot(vel))
+	}
+	got, err := FromStateVector(pos, vel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBack := got.TrueFromEccentric(eccFromMean(got))
+	if mathx.AngleDiff(fBack, f) > 1e-6 {
+		t.Errorf("true anomaly = %v, want %v", fBack, f)
+	}
+}

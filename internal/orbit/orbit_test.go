@@ -1,0 +1,310 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/vec3"
+)
+
+func leoElements() Elements {
+	return Elements{
+		SemiMajorAxis: 7000,
+		Eccentricity:  0.0025,
+		Inclination:   0.9,
+		RAAN:          1.2,
+		ArgPerigee:    0.4,
+		MeanAnomaly:   2.0,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := leoElements().Validate(); err != nil {
+		t.Errorf("valid elements rejected: %v", err)
+	}
+	bad := []Elements{
+		{SemiMajorAxis: -1, Eccentricity: 0.1},
+		{SemiMajorAxis: 7000, Eccentricity: 1.0},
+		{SemiMajorAxis: 7000, Eccentricity: -0.1},
+		{SemiMajorAxis: 7000, Eccentricity: 0.1, Inclination: 4},
+		{SemiMajorAxis: 7000, Eccentricity: 0.1, Inclination: math.NaN()},
+		{SemiMajorAxis: 6500, Eccentricity: 0.3}, // perigee below surface
+		{SemiMajorAxis: 7000, Eccentricity: 0.1, RAAN: math.NaN()},
+	}
+	for i, el := range bad {
+		if err := el.Validate(); err == nil {
+			t.Errorf("case %d: invalid elements accepted: %+v", i, el)
+		}
+	}
+}
+
+func TestPeriodAndMeanMotion(t *testing.T) {
+	// A 7000 km circular orbit has a ~97 minute period.
+	el := Elements{SemiMajorAxis: 7000}
+	p := el.Period()
+	if math.Abs(p-5828.5) > 1.0 {
+		t.Errorf("Period = %v s, want ≈5828.5", p)
+	}
+	if math.Abs(el.MeanMotion()*p-mathx.TwoPi) > 1e-9 {
+		t.Error("MeanMotion·Period != 2π")
+	}
+}
+
+func TestApsides(t *testing.T) {
+	el := Elements{SemiMajorAxis: 10000, Eccentricity: 0.2}
+	if got := el.ApogeeRadius(); got != 12000 {
+		t.Errorf("Apogee = %v, want 12000", got)
+	}
+	if got := el.PerigeeRadius(); got != 8000 {
+		t.Errorf("Perigee = %v, want 8000", got)
+	}
+	if got := el.SemiLatusRectum(); math.Abs(got-9600) > 1e-9 {
+		t.Errorf("p = %v, want 9600", got)
+	}
+}
+
+func TestRadiusAtTrueAnomaly(t *testing.T) {
+	el := Elements{SemiMajorAxis: 10000, Eccentricity: 0.2}
+	if got := el.RadiusAtTrueAnomaly(0); math.Abs(got-8000) > 1e-9 {
+		t.Errorf("r(0) = %v, want perigee 8000", got)
+	}
+	if got := el.RadiusAtTrueAnomaly(math.Pi); math.Abs(got-12000) > 1e-9 {
+		t.Errorf("r(π) = %v, want apogee 12000", got)
+	}
+}
+
+func TestNormalEquatorial(t *testing.T) {
+	el := Elements{SemiMajorAxis: 7000, Inclination: 0}
+	if n := el.Normal(); n.Dist(vec3.New(0, 0, 1)) > 1e-12 {
+		t.Errorf("equatorial normal = %v, want ẑ", n)
+	}
+	el.Inclination = math.Pi / 2
+	el.RAAN = 0
+	// Ascending node at x̂, polar orbit: normal = -ŷ.
+	if n := el.Normal(); n.Dist(vec3.New(0, -1, 0)) > 1e-12 {
+		t.Errorf("polar normal = %v, want -ŷ", n)
+	}
+}
+
+func TestBasisOrthonormal(t *testing.T) {
+	el := leoElements()
+	p, q := el.Basis()
+	if math.Abs(p.Norm()-1) > 1e-12 || math.Abs(q.Norm()-1) > 1e-12 {
+		t.Error("basis vectors not unit length")
+	}
+	if math.Abs(p.Dot(q)) > 1e-12 {
+		t.Error("basis vectors not orthogonal")
+	}
+	// P̂ × Q̂ must equal the orbit normal.
+	if p.Cross(q).Dist(el.Normal()) > 1e-12 {
+		t.Errorf("P×Q = %v, normal = %v", p.Cross(q), el.Normal())
+	}
+}
+
+func TestAnomalyRoundtrips(t *testing.T) {
+	el := Elements{SemiMajorAxis: 8000, Eccentricity: 0.3}
+	for k := 0; k < 50; k++ {
+		f := mathx.TwoPi * float64(k) / 50
+		ecc := el.EccentricFromTrue(f)
+		back := el.TrueFromEccentric(ecc)
+		if mathx.AngleDiff(f, back) > 1e-12 {
+			t.Errorf("true↔ecc roundtrip failed at f=%v: got %v", f, back)
+		}
+	}
+}
+
+func TestStateAtTrueAnomalyGeometry(t *testing.T) {
+	el := Elements{SemiMajorAxis: 10000, Eccentricity: 0.2}
+	// Perigee: position along P̂ (= x̂ for zero angles) at 8000 km, velocity ⟂.
+	pos, vel := el.StateAtTrueAnomaly(0)
+	if pos.Dist(vec3.New(8000, 0, 0)) > 1e-6 {
+		t.Errorf("perigee pos = %v", pos)
+	}
+	if math.Abs(pos.Dot(vel)) > 1e-9 {
+		t.Error("velocity not perpendicular to radius at perigee")
+	}
+	// Vis-viva check: v² = μ(2/r − 1/a).
+	want := math.Sqrt(MuEarth * (2/8000.0 - 1/10000.0))
+	if math.Abs(vel.Norm()-want) > 1e-9 {
+		t.Errorf("perigee speed = %v, want %v", vel.Norm(), want)
+	}
+}
+
+func TestStateVisVivaEverywhere(t *testing.T) {
+	el := leoElements()
+	for k := 0; k < 36; k++ {
+		f := mathx.TwoPi * float64(k) / 36
+		pos, vel := el.StateAtTrueAnomaly(f)
+		r := pos.Norm()
+		want := math.Sqrt(MuEarth * (2/r - 1/el.SemiMajorAxis))
+		if math.Abs(vel.Norm()-want) > 1e-9 {
+			t.Errorf("vis-viva violated at f=%v", f)
+		}
+		// Angular momentum constant: |r×v| = √(μp).
+		h := pos.Cross(vel).Norm()
+		if math.Abs(h-math.Sqrt(MuEarth*el.SemiLatusRectum())) > 1e-6 {
+			t.Errorf("angular momentum drift at f=%v", f)
+		}
+	}
+}
+
+func TestStateBasisMatchesNonBasis(t *testing.T) {
+	el := leoElements()
+	p, q := el.Basis()
+	for _, f := range []float64{0, 1, 2, 3, 4, 5, 6} {
+		p1, v1 := el.StateAtTrueAnomaly(f)
+		p2, v2 := el.StateAtTrueAnomalyBasis(f, p, q)
+		if p1.Dist(p2) > 1e-9 || v1.Dist(v2) > 1e-12 {
+			t.Errorf("basis/non-basis mismatch at f=%v", f)
+		}
+	}
+}
+
+func TestMutualNodeLine(t *testing.T) {
+	a := Elements{SemiMajorAxis: 7000, Inclination: 0.5}
+	b := Elements{SemiMajorAxis: 7000, Inclination: 1.0}
+	line, relInc, ok := MutualNodeLine(a, b, 1e-6)
+	if !ok {
+		t.Fatal("distinct planes reported coplanar")
+	}
+	if math.Abs(relInc-0.5) > 1e-12 {
+		t.Errorf("relative inclination = %v, want 0.5", relInc)
+	}
+	// Both planes share RAAN 0, so they intersect along the node x̂ (±).
+	if math.Abs(math.Abs(line.X)-1) > 1e-9 {
+		t.Errorf("node line = %v, want ±x̂", line)
+	}
+	// The line must lie in both planes.
+	if math.Abs(line.Dot(a.Normal())) > 1e-12 || math.Abs(line.Dot(b.Normal())) > 1e-12 {
+		t.Error("node line not in both planes")
+	}
+}
+
+func TestMutualNodeLineCoplanar(t *testing.T) {
+	a := leoElements()
+	b := a
+	if _, _, ok := MutualNodeLine(a, b, 1e-6); ok {
+		t.Error("identical planes not reported coplanar")
+	}
+	// Anti-aligned normals (retrograde twin) are also coplanar.
+	b.Inclination = math.Pi - a.Inclination
+	b.RAAN = mathx.NormalizeAngle(a.RAAN + math.Pi)
+	if _, _, ok := MutualNodeLine(a, b, 1e-6); ok {
+		t.Error("anti-aligned planes not reported coplanar")
+	}
+}
+
+func TestTrueAnomalyOfDirection(t *testing.T) {
+	el := leoElements()
+	for _, f := range []float64{0.1, 1.7, 3.3, 5.9} {
+		pos, _ := el.StateAtTrueAnomaly(f)
+		got := el.TrueAnomalyOfDirection(pos)
+		if mathx.AngleDiff(got, f) > 1e-9 {
+			t.Errorf("TrueAnomalyOfDirection(r(%v)) = %v", f, got)
+		}
+	}
+}
+
+func TestFromStateVectorRoundtrip(t *testing.T) {
+	cases := []Elements{
+		leoElements(),
+		{SemiMajorAxis: 26560, Eccentricity: 0.01, Inclination: 0.96, RAAN: 3, ArgPerigee: 5, MeanAnomaly: 1},
+		{SemiMajorAxis: 42164, Eccentricity: 0.0001, Inclination: 0.001, RAAN: 0.1, ArgPerigee: 0.2, MeanAnomaly: 4},
+		{SemiMajorAxis: 24400, Eccentricity: 0.7, Inclination: 1.1, RAAN: 2, ArgPerigee: 4.7, MeanAnomaly: 0.3},
+	}
+	for i, el := range cases {
+		f := el.TrueFromEccentric(eccFromMean(el))
+		pos, vel := el.StateAtTrueAnomaly(f)
+		got, err := FromStateVector(pos, vel)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(got.SemiMajorAxis-el.SemiMajorAxis) > 1e-4*el.SemiMajorAxis {
+			t.Errorf("case %d: a = %v, want %v", i, got.SemiMajorAxis, el.SemiMajorAxis)
+		}
+		if math.Abs(got.Eccentricity-el.Eccentricity) > 1e-7 {
+			t.Errorf("case %d: e = %v, want %v", i, got.Eccentricity, el.Eccentricity)
+		}
+		if math.Abs(got.Inclination-el.Inclination) > 1e-7 {
+			t.Errorf("case %d: i = %v, want %v", i, got.Inclination, el.Inclination)
+		}
+		// Position reconstruction is the real contract.
+		f2 := got.TrueFromEccentric(eccFromMean(got))
+		pos2, _ := got.StateAtTrueAnomaly(f2)
+		if pos.Dist(pos2) > 1e-3 {
+			t.Errorf("case %d: reconstructed position off by %v km", i, pos.Dist(pos2))
+		}
+	}
+}
+
+// eccFromMean solves Kepler's equation by bisection — an independent oracle
+// so orbit tests do not depend on the kepler package.
+func eccFromMean(el Elements) float64 {
+	m := mathx.NormalizeAngle(el.MeanAnomaly)
+	lo, hi := m-1.0, m+1.0
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid-el.Eccentricity*math.Sin(mid)-m > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+func TestFromStateVectorCircularEquatorial(t *testing.T) {
+	r := vec3.New(7000, 0, 0)
+	v := vec3.New(0, math.Sqrt(MuEarth/7000), 0)
+	el, err := FromStateVector(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(el.SemiMajorAxis-7000) > 1e-6 {
+		t.Errorf("a = %v", el.SemiMajorAxis)
+	}
+	if el.Eccentricity > 1e-10 {
+		t.Errorf("e = %v, want 0", el.Eccentricity)
+	}
+	if el.Inclination > 1e-10 {
+		t.Errorf("i = %v, want 0", el.Inclination)
+	}
+}
+
+func TestFromStateVectorErrors(t *testing.T) {
+	if _, err := FromStateVector(vec3.Zero, vec3.New(1, 0, 0)); err == nil {
+		t.Error("zero position accepted")
+	}
+	// Radial (rectilinear) trajectory.
+	if _, err := FromStateVector(vec3.New(7000, 0, 0), vec3.New(1, 0, 0)); err == nil {
+		t.Error("rectilinear trajectory accepted")
+	}
+	// Escape velocity → unbound.
+	vEsc := math.Sqrt(2*MuEarth/7000) * 1.01
+	if _, err := FromStateVector(vec3.New(7000, 0, 0), vec3.New(0, vEsc, 0)); err == nil {
+		t.Error("hyperbolic trajectory accepted")
+	}
+}
+
+func TestPropFromStateVectorEnergy(t *testing.T) {
+	// Recovered semi-major axis must satisfy the vis-viva relation for any
+	// random bound state.
+	f := func(seed uint64) bool {
+		rng := mathx.NewSplitMix64(seed)
+		r := vec3.New(rng.UniformRange(6600, 45000), rng.UniformRange(-20000, 20000), rng.UniformRange(-20000, 20000))
+		rn := r.Norm()
+		vCirc := math.Sqrt(MuEarth / rn)
+		v := vec3.New(rng.UniformRange(-1, 1), rng.UniformRange(-1, 1), rng.UniformRange(-1, 1)).Unit().Scale(vCirc * rng.UniformRange(0.7, 1.2))
+		el, err := FromStateVector(r, v)
+		if err != nil {
+			return true // unbound or degenerate draws are fine to skip
+		}
+		wantA := -MuEarth / (2 * (v.Norm()*v.Norm()/2 - MuEarth/rn))
+		return math.Abs(el.SemiMajorAxis-wantA) < 1e-6*wantA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

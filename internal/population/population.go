@@ -1,0 +1,233 @@
+package population
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+	"repro/internal/propagation"
+	"repro/internal/vec3"
+)
+
+// Config parameterises synthetic population generation.
+type Config struct {
+	// N is the population size; the paper sweeps 2,000 – 1,024,000.
+	N int
+	// Seed makes generation deterministic.
+	Seed uint64
+	// KDE is the (a, e) density model; nil selects DefaultKDE().
+	KDE *KDE2D
+	// MinPerigeeAltitudeKm rejects draws whose perigee would dip below
+	// this altitude (satellites there decay immediately); 0 selects 150 km.
+	MinPerigeeAltitudeKm float64
+	// MaxApogeeKm rejects draws beyond this apogee so the population fits
+	// the simulation cube; 0 selects the GEO-graveyard bound of 45,000 km.
+	MaxApogeeKm float64
+}
+
+func (c Config) minPerigee() float64 {
+	alt := c.MinPerigeeAltitudeKm
+	if alt <= 0 {
+		alt = 150
+	}
+	return orbit.EarthRadius + alt
+}
+
+func (c Config) maxApogee() float64 {
+	if c.MaxApogeeKm <= 0 {
+		return 45000
+	}
+	return c.MaxApogeeKm
+}
+
+// Generate draws a population per Table II: (a, e) from the KDE, the angular
+// elements uniform. IDs are assigned 0..N−1.
+func Generate(cfg Config) ([]propagation.Satellite, error) {
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("population: negative size %d", cfg.N)
+	}
+	kde := cfg.KDE
+	if kde == nil {
+		kde = DefaultKDE()
+	}
+	rng := mathx.NewSplitMix64(cfg.Seed)
+	minPerigee := cfg.minPerigee()
+	maxApogee := cfg.maxApogee()
+
+	sats := make([]propagation.Satellite, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		var el orbit.Elements
+		for attempt := 0; ; attempt++ {
+			if attempt > 1000 {
+				return nil, fmt.Errorf("population: rejection sampling failed after 1000 draws (constraints too tight)")
+			}
+			a, e := kde.Sample(rng)
+			if e < 0 {
+				e = -e // reflect the kernel tail back into validity
+			}
+			if e >= 1 {
+				continue
+			}
+			el = orbit.Elements{
+				SemiMajorAxis: a,
+				Eccentricity:  e,
+				Inclination:   rng.UniformRange(0, math.Pi),
+				RAAN:          rng.UniformRange(0, mathx.TwoPi),
+				ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+				MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+			}
+			if el.PerigeeRadius() < minPerigee || el.ApogeeRadius() > maxApogee {
+				continue
+			}
+			if el.Validate() == nil {
+				break
+			}
+		}
+		s, err := propagation.NewSatellite(int32(i), el)
+		if err != nil {
+			return nil, err
+		}
+		sats = append(sats, s)
+	}
+	return sats, nil
+}
+
+// MustGenerate is Generate for tests/examples with known-good configs.
+func MustGenerate(cfg Config) []propagation.Satellite {
+	sats, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sats
+}
+
+// WalkerConfig describes a Walker-delta constellation shell (the
+// mega-constellation scenario of §I).
+type WalkerConfig struct {
+	// Planes is the number of orbital planes.
+	Planes int
+	// PerPlane is the number of satellites per plane.
+	PerPlane int
+	// AltitudeKm is the circular-orbit altitude above the Earth radius.
+	AltitudeKm float64
+	// InclinationRad is the shared inclination.
+	InclinationRad float64
+	// PhasingSlots offsets the along-track phase between adjacent planes
+	// in units of 2π/(Planes·PerPlane); 1 gives the classic Walker spread.
+	PhasingSlots int
+	// FirstID numbers the generated satellites starting here.
+	FirstID int32
+}
+
+// Walker generates the constellation shell.
+func Walker(cfg WalkerConfig) ([]propagation.Satellite, error) {
+	if cfg.Planes <= 0 || cfg.PerPlane <= 0 {
+		return nil, fmt.Errorf("population: Walker needs positive planes×perPlane, got %d×%d", cfg.Planes, cfg.PerPlane)
+	}
+	total := cfg.Planes * cfg.PerPlane
+	sats := make([]propagation.Satellite, 0, total)
+	a := orbit.EarthRadius + cfg.AltitudeKm
+	for p := 0; p < cfg.Planes; p++ {
+		raan := mathx.TwoPi * float64(p) / float64(cfg.Planes)
+		for s := 0; s < cfg.PerPlane; s++ {
+			m := mathx.TwoPi*float64(s)/float64(cfg.PerPlane) +
+				mathx.TwoPi*float64(cfg.PhasingSlots)*float64(p)/float64(total)
+			el := orbit.Elements{
+				SemiMajorAxis: a,
+				Eccentricity:  0.0001,
+				Inclination:   cfg.InclinationRad,
+				RAAN:          raan,
+				ArgPerigee:    0,
+				MeanAnomaly:   mathx.NormalizeAngle(m),
+			}
+			sat, err := propagation.NewSatellite(cfg.FirstID+int32(len(sats)), el)
+			if err != nil {
+				return nil, err
+			}
+			sats = append(sats, sat)
+		}
+	}
+	return sats, nil
+}
+
+// FragmentationConfig describes a breakup event: debris is spawned from the
+// parent's state with isotropic velocity perturbations — the "catastrophic
+// fragmentation event" of §III-B whose cloud spreads along the orbit.
+type FragmentationConfig struct {
+	// Parent is the orbit of the fragmenting object.
+	Parent orbit.Elements
+	// TimeOfBreakup is when (seconds from epoch) the breakup occurs; the
+	// debris elements are referenced back to epoch t = 0.
+	TimeOfBreakup float64
+	// N is the number of fragments.
+	N int
+	// DeltaVKmS is the standard deviation of each velocity component's
+	// perturbation (typical breakup: 0.01–0.3 km/s).
+	DeltaVKmS float64
+	// Seed makes generation deterministic.
+	Seed uint64
+	// FirstID numbers the fragments starting here.
+	FirstID int32
+}
+
+// Fragmentation generates the debris cloud. Fragments whose perturbed state
+// is unbound or sub-orbital are re-drawn.
+func Fragmentation(cfg FragmentationConfig) ([]propagation.Satellite, error) {
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("population: negative fragment count %d", cfg.N)
+	}
+	if err := cfg.Parent.Validate(); err != nil {
+		return nil, fmt.Errorf("population: parent orbit: %w", err)
+	}
+	parent, err := propagation.NewSatellite(0, cfg.Parent)
+	if err != nil {
+		return nil, err
+	}
+	prop := propagation.TwoBody{}
+	pos, vel := prop.State(&parent, cfg.TimeOfBreakup)
+
+	rng := mathx.NewSplitMix64(cfg.Seed)
+	frags := make([]propagation.Satellite, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		var el orbit.Elements
+		ok := false
+		for attempt := 0; attempt < 1000; attempt++ {
+			dv := vec3.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(cfg.DeltaVKmS)
+			cand, err := orbit.FromStateVector(pos, vel.Add(dv))
+			if err != nil {
+				continue
+			}
+			// Rewind the breakup-time anomaly to epoch t = 0.
+			cand.MeanAnomaly = mathx.NormalizeAngle(cand.MeanAnomaly - cand.MeanMotion()*cfg.TimeOfBreakup)
+			if cand.Validate() != nil {
+				continue
+			}
+			el, ok = cand, true
+			break
+		}
+		if !ok {
+			return nil, fmt.Errorf("population: fragment %d: no bound orbit after 1000 draws (Δv too large?)", i)
+		}
+		s, err := propagation.NewSatellite(cfg.FirstID+int32(i), el)
+		if err != nil {
+			return nil, err
+		}
+		frags = append(frags, s)
+	}
+	return frags, nil
+}
+
+// TableIIRanges documents the generator's value ranges — echoed by the
+// Table II reproduction.
+func TableIIRanges() []struct{ Element, Range string } {
+	return []struct{ Element, Range string }{
+		{"Semi-major axis", "From distribution (bivariate KDE, Fig. 9)"},
+		{"Eccentricity", "From distribution (bivariate KDE, Fig. 9)"},
+		{"Inclination", "0 – π"},
+		{"Right-ascension of ascending node", "0 – 2π"},
+		{"Argument of perigee", "0 – 2π"},
+		{"Mean anomaly", "0 – 2π"},
+		{"True anomaly", "From mean anomaly (Kepler solve)"},
+	}
+}

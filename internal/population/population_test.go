@@ -1,0 +1,247 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+	"repro/internal/propagation"
+)
+
+func TestNewKDEValidation(t *testing.T) {
+	if _, err := NewKDE(nil, 1, 1); err == nil {
+		t.Error("empty seed accepted")
+	}
+	if _, err := NewKDE(CatalogSeed, 0, 1); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := NewKDE([]SeedPoint{{7000, 0.01, -1}}, 1, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestKDESampleClusters(t *testing.T) {
+	k := DefaultKDE()
+	rng := mathx.NewSplitMix64(1)
+	const n = 20000
+	leo, geo, heo := 0, 0, 0
+	for i := 0; i < n; i++ {
+		a, e := k.Sample(rng)
+		switch {
+		case a < 8200 && e < 0.1:
+			leo++
+		case a > 41000 && a < 43500:
+			geo++
+		case e > 0.5:
+			heo++
+		}
+	}
+	if float64(leo)/n < 0.70 {
+		t.Errorf("LEO share = %.3f, want > 0.70 (Fig. 9 bulk)", float64(leo)/n)
+	}
+	if geo == 0 {
+		t.Error("no GEO samples")
+	}
+	if heo == 0 {
+		t.Error("no HEO/GTO samples")
+	}
+}
+
+func TestKDEDensityPeaksAtLEOBulk(t *testing.T) {
+	k := DefaultKDE()
+	dLEO := k.Density(6950, 0.0025)
+	dEmpty := k.Density(15000, 0.3)
+	if dLEO <= dEmpty*100 {
+		t.Errorf("LEO density %g not ≫ empty-region density %g", dLEO, dEmpty)
+	}
+}
+
+func TestKDEDensityGridShape(t *testing.T) {
+	k := DefaultKDE()
+	g := k.DensityGrid(6600, 8500, 40, 0, 0.05, 20)
+	if len(g) != 20 || len(g[0]) != 40 {
+		t.Fatalf("grid dims %dx%d", len(g), len(g[0]))
+	}
+	// The hottest cell must be in the low-eccentricity LEO region.
+	bestR, bestC, best := 0, 0, 0.0
+	for r := range g {
+		for c := range g[r] {
+			if g[r][c] > best {
+				best, bestR, bestC = g[r][c], r, c
+			}
+		}
+	}
+	if bestR > 5 {
+		t.Errorf("density peak at eccentricity row %d, want near 0", bestR)
+	}
+	aPeak := 6600 + (8500-6600)*(float64(bestC)+0.5)/40
+	if aPeak < 6800 || aPeak > 7200 {
+		t.Errorf("density peak at a ≈ %v, want ≈6950", aPeak)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{N: 50, Seed: 9})
+	b := MustGenerate(Config{N: 50, Seed: 9})
+	for i := range a {
+		if a[i].Elements != b[i].Elements {
+			t.Fatalf("satellite %d differs between identically-seeded runs", i)
+		}
+	}
+	c := MustGenerate(Config{N: 50, Seed: 10})
+	if a[0].Elements == c[0].Elements {
+		t.Error("different seeds produced identical first satellite")
+	}
+}
+
+func TestGenerateValidity(t *testing.T) {
+	sats := MustGenerate(Config{N: 500, Seed: 3})
+	if len(sats) != 500 {
+		t.Fatalf("generated %d, want 500", len(sats))
+	}
+	minPerigee := orbit.EarthRadius + 150
+	for i, s := range sats {
+		if s.ID != int32(i) {
+			t.Errorf("satellite %d has ID %d", i, s.ID)
+		}
+		if err := s.Elements.Validate(); err != nil {
+			t.Errorf("satellite %d invalid: %v", i, err)
+		}
+		if s.Elements.PerigeeRadius() < minPerigee {
+			t.Errorf("satellite %d perigee %v below floor", i, s.Elements.PerigeeRadius())
+		}
+		if s.Elements.ApogeeRadius() > 45000 {
+			t.Errorf("satellite %d apogee %v beyond cap", i, s.Elements.ApogeeRadius())
+		}
+		if s.Elements.Inclination < 0 || s.Elements.Inclination > math.Pi {
+			t.Errorf("satellite %d inclination %v outside Table II range", i, s.Elements.Inclination)
+		}
+	}
+}
+
+func TestGenerateAngularUniformity(t *testing.T) {
+	sats := MustGenerate(Config{N: 4000, Seed: 21})
+	var raanSum, maSum float64
+	for _, s := range sats {
+		raanSum += s.Elements.RAAN
+		maSum += s.Elements.MeanAnomaly
+	}
+	// Uniform on [0, 2π) → mean ≈ π.
+	if m := raanSum / 4000; math.Abs(m-math.Pi) > 0.15 {
+		t.Errorf("RAAN mean = %v, want ≈π", m)
+	}
+	if m := maSum / 4000; math.Abs(m-math.Pi) > 0.15 {
+		t.Errorf("mean-anomaly mean = %v, want ≈π", m)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: -1}); err == nil {
+		t.Error("negative N accepted")
+	}
+	// Impossible constraints: perigee floor above apogee cap.
+	if _, err := Generate(Config{N: 1, MinPerigeeAltitudeKm: 50000, MaxApogeeKm: 10000}); err == nil {
+		t.Error("impossible constraints accepted")
+	}
+	if _, err := Generate(Config{N: 0}); err != nil {
+		t.Errorf("empty population errored: %v", err)
+	}
+}
+
+func TestWalker(t *testing.T) {
+	sats, err := Walker(WalkerConfig{Planes: 6, PerPlane: 10, AltitudeKm: 550, InclinationRad: 0.94, PhasingSlots: 1, FirstID: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sats) != 60 {
+		t.Fatalf("generated %d, want 60", len(sats))
+	}
+	if sats[0].ID != 100 || sats[59].ID != 159 {
+		t.Errorf("ID range [%d, %d]", sats[0].ID, sats[59].ID)
+	}
+	planes := map[float64]int{}
+	for _, s := range sats {
+		planes[s.Elements.RAAN]++
+		if math.Abs(s.Elements.SemiMajorAxis-(orbit.EarthRadius+550)) > 1e-9 {
+			t.Errorf("altitude wrong: %v", s.Elements.SemiMajorAxis)
+		}
+		if s.Elements.Inclination != 0.94 {
+			t.Errorf("inclination wrong: %v", s.Elements.Inclination)
+		}
+	}
+	if len(planes) != 6 {
+		t.Errorf("%d distinct planes, want 6", len(planes))
+	}
+	for raan, count := range planes {
+		if count != 10 {
+			t.Errorf("plane %v has %d satellites, want 10", raan, count)
+		}
+	}
+	if _, err := Walker(WalkerConfig{Planes: 0, PerPlane: 5}); err == nil {
+		t.Error("zero planes accepted")
+	}
+}
+
+func TestWalkerEvenPhasing(t *testing.T) {
+	sats, _ := Walker(WalkerConfig{Planes: 2, PerPlane: 4, AltitudeKm: 550, InclinationRad: 1.0, PhasingSlots: 1})
+	// Adjacent-plane satellites must be phase-shifted by 2π/8.
+	d := mathx.AngleDiff(sats[4].Elements.MeanAnomaly, sats[0].Elements.MeanAnomaly)
+	if math.Abs(d-mathx.TwoPi/8) > 1e-9 {
+		t.Errorf("inter-plane phasing = %v, want 2π/8", d)
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	parent := orbit.Elements{SemiMajorAxis: 7100, Eccentricity: 0.002, Inclination: 1.2, RAAN: 0.3, ArgPerigee: 1.0, MeanAnomaly: 2.2}
+	frags, err := Fragmentation(FragmentationConfig{Parent: parent, TimeOfBreakup: 600, N: 200, DeltaVKmS: 0.05, Seed: 4, FirstID: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 200 {
+		t.Fatalf("generated %d fragments", len(frags))
+	}
+	// All fragments pass through the breakup point at the breakup time.
+	parentSat := propagation.MustSatellite(0, parent)
+	prop := propagation.TwoBody{}
+	bp, _ := prop.State(&parentSat, 600)
+	for i, f := range frags {
+		if f.ID != 1000+int32(i) {
+			t.Errorf("fragment %d ID = %d", i, f.ID)
+		}
+		fp, _ := prop.State(&f, 600)
+		if d := fp.Dist(bp); d > 1.0 {
+			t.Errorf("fragment %d is %v km from the breakup point at breakup time", i, d)
+		}
+		// Semi-major axes scatter around the parent's.
+		if math.Abs(f.Elements.SemiMajorAxis-7100) > 2000 {
+			t.Errorf("fragment %d has wild semi-major axis %v", i, f.Elements.SemiMajorAxis)
+		}
+	}
+	// The cloud must actually scatter (distinct orbits).
+	if frags[0].Elements == frags[1].Elements {
+		t.Error("fragments identical")
+	}
+}
+
+func TestFragmentationErrors(t *testing.T) {
+	bad := orbit.Elements{SemiMajorAxis: -1}
+	if _, err := Fragmentation(FragmentationConfig{Parent: bad, N: 1}); err == nil {
+		t.Error("invalid parent accepted")
+	}
+	good := orbit.Elements{SemiMajorAxis: 7000}
+	if _, err := Fragmentation(FragmentationConfig{Parent: good, N: -1}); err == nil {
+		t.Error("negative N accepted")
+	}
+	// Excessive Δv makes bound orbits impossible to draw.
+	if _, err := Fragmentation(FragmentationConfig{Parent: good, N: 1, DeltaVKmS: 50}); err == nil {
+		t.Error("unbound Δv accepted")
+	}
+}
+
+func TestTableIIRanges(t *testing.T) {
+	rows := TableIIRanges()
+	if len(rows) != 7 {
+		t.Errorf("Table II rows = %d, want 7", len(rows))
+	}
+}

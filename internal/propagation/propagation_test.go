@@ -1,0 +1,243 @@
+package propagation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kepler"
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+	"repro/internal/vec3"
+)
+
+func leoSat(t *testing.T) Satellite {
+	t.Helper()
+	s, err := NewSatellite(1, orbit.Elements{
+		SemiMajorAxis: 7000,
+		Eccentricity:  0.0025,
+		Inclination:   0.9,
+		RAAN:          1.2,
+		ArgPerigee:    0.4,
+		MeanAnomaly:   2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSatelliteValidation(t *testing.T) {
+	if _, err := NewSatellite(1, orbit.Elements{SemiMajorAxis: -1}); err == nil {
+		t.Error("invalid elements accepted")
+	}
+	if _, err := NewSatellite(-3, orbit.Elements{SemiMajorAxis: 7000}); err == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func TestMustSatellitePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSatellite did not panic on invalid elements")
+		}
+	}()
+	MustSatellite(1, orbit.Elements{})
+}
+
+func TestTwoBodyPeriodicity(t *testing.T) {
+	s := leoSat(t)
+	prop := TwoBody{}
+	p0, v0 := prop.State(&s, 0)
+	pT, vT := prop.State(&s, s.Period())
+	if p0.Dist(pT) > 1e-6 {
+		t.Errorf("position after one period off by %v km", p0.Dist(pT))
+	}
+	if v0.Dist(vT) > 1e-9 {
+		t.Errorf("velocity after one period off by %v km/s", v0.Dist(vT))
+	}
+}
+
+func TestTwoBodyMatchesElements(t *testing.T) {
+	// At t=0 the propagated state must equal the direct element evaluation.
+	s := leoSat(t)
+	prop := TwoBody{}
+	pos, vel := prop.State(&s, 0)
+	ecc := kepler.Default().Solve(s.Elements.MeanAnomaly, s.Elements.Eccentricity)
+	f := s.Elements.TrueFromEccentric(ecc)
+	wantP, wantV := s.Elements.StateAtTrueAnomaly(f)
+	if pos.Dist(wantP) > 1e-9 || vel.Dist(wantV) > 1e-12 {
+		t.Errorf("t=0 state mismatch: %v vs %v", pos, wantP)
+	}
+}
+
+func TestTwoBodyEnergyConservation(t *testing.T) {
+	s := leoSat(t)
+	prop := TwoBody{}
+	energy := func(p, v vec3.V) float64 { return v.Norm2()/2 - orbit.MuEarth/p.Norm() }
+	p0, v0 := prop.State(&s, 0)
+	e0 := energy(p0, v0)
+	for _, tt := range []float64{100, 1000, 5000, 86400} {
+		p, v := prop.State(&s, tt)
+		if math.Abs(energy(p, v)-e0) > 1e-9*math.Abs(e0) {
+			t.Errorf("energy drift at t=%v", tt)
+		}
+	}
+}
+
+func TestTwoBodyVelocityIsDerivative(t *testing.T) {
+	// Central-difference numerical derivative must match reported velocity.
+	s := leoSat(t)
+	prop := TwoBody{}
+	const h = 1e-3
+	for _, tt := range []float64{0, 500, 3000} {
+		pm, _ := prop.State(&s, tt-h)
+		pp, _ := prop.State(&s, tt+h)
+		_, v := prop.State(&s, tt)
+		num := pp.Sub(pm).Scale(1 / (2 * h))
+		if num.Dist(v) > 1e-5 {
+			t.Errorf("velocity mismatch at t=%v: numeric %v vs analytic %v", tt, num, v)
+		}
+	}
+}
+
+func TestTwoBodyBackwardTime(t *testing.T) {
+	s := leoSat(t)
+	prop := TwoBody{}
+	pf, _ := prop.State(&s, 600)
+	pb, _ := prop.State(&s, 600-s.Period())
+	if pf.Dist(pb) > 1e-6 {
+		t.Errorf("backward propagation inconsistent: %v km apart", pf.Dist(pb))
+	}
+}
+
+func TestJ2RatesSigns(t *testing.T) {
+	// Prograde LEO: node regresses (Ω̇ < 0). Polar: Ω̇ = 0.
+	s := leoSat(t)
+	j2 := J2{}
+	raanDot, _, _ := j2.Rates(&s)
+	if raanDot >= 0 {
+		t.Errorf("prograde Ω̇ = %v, want negative", raanDot)
+	}
+	s2 := MustSatellite(2, orbit.Elements{SemiMajorAxis: 7000, Inclination: math.Pi / 2})
+	raanDot2, _, _ := j2.Rates(&s2)
+	if math.Abs(raanDot2) > 1e-20 {
+		t.Errorf("polar Ω̇ = %v, want 0", raanDot2)
+	}
+	// Critical inclination 63.43°: ω̇ = 0.
+	s3 := MustSatellite(3, orbit.Elements{SemiMajorAxis: 7000, Inclination: math.Acos(math.Sqrt(1.0 / 5.0))})
+	_, argpDot, _ := j2.Rates(&s3)
+	if math.Abs(argpDot) > 1e-18 {
+		t.Errorf("critical-inclination ω̇ = %v, want ≈0", argpDot)
+	}
+}
+
+func TestJ2SunSynchronousRate(t *testing.T) {
+	// A ~98°-inclination 7178 km orbit should precess close to the
+	// sun-synchronous rate of ~360°/year ≈ 1.991e-7 rad/s.
+	s := MustSatellite(4, orbit.Elements{
+		SemiMajorAxis: orbit.EarthRadius + 800,
+		Eccentricity:  0.001,
+		Inclination:   98.6 * math.Pi / 180,
+	})
+	raanDot, _, _ := J2{}.Rates(&s)
+	const want = 1.991e-7
+	if math.Abs(raanDot-want)/want > 0.05 {
+		t.Errorf("SSO precession = %v rad/s, want ≈%v", raanDot, want)
+	}
+}
+
+func TestJ2ReducesToTwoBodyAtZeroTime(t *testing.T) {
+	s := leoSat(t)
+	p1, v1 := TwoBody{}.State(&s, 0)
+	p2, v2 := J2{}.State(&s, 0)
+	if p1.Dist(p2) > 1e-9 || v1.Dist(v2) > 1e-12 {
+		t.Error("J2 at t=0 differs from two-body")
+	}
+}
+
+func TestJ2DriftsOverDay(t *testing.T) {
+	s := leoSat(t)
+	day := 86400.0
+	p1, _ := TwoBody{}.State(&s, day)
+	p2, _ := J2{}.State(&s, day)
+	// After a day a LEO orbit plane has precessed by a fraction of a degree;
+	// positions must differ by at least several km but stay on-shell.
+	d := p1.Dist(p2)
+	if d < 1 {
+		t.Errorf("J2 drift after one day only %v km; rates not applied?", d)
+	}
+	if math.Abs(p2.Norm()-p1.Norm()) > 50 {
+		t.Errorf("J2 radically changed orbit radius: %v vs %v", p2.Norm(), p1.Norm())
+	}
+}
+
+func TestPropagateAllMatchesSerial(t *testing.T) {
+	sats := make([]Satellite, 64)
+	rng := mathx.NewSplitMix64(5)
+	for i := range sats {
+		sats[i] = MustSatellite(int32(i), orbit.Elements{
+			SemiMajorAxis: rng.UniformRange(6800, 8000),
+			Eccentricity:  rng.UniformRange(0, 0.02),
+			Inclination:   rng.UniformRange(0, math.Pi),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		})
+	}
+	prop := TwoBody{}
+	serial := make([]State, len(sats))
+	parallel := make([]State, len(sats))
+	PropagateAll(prop, sats, 1234, 1, serial)
+	PropagateAll(prop, sats, 1234, 8, parallel)
+	for i := range sats {
+		if serial[i].Pos.Dist(parallel[i].Pos) != 0 || serial[i].Vel.Dist(parallel[i].Vel) != 0 {
+			t.Fatalf("satellite %d differs between serial and parallel", i)
+		}
+	}
+}
+
+func TestPropagateAllEmptyAndMismatch(t *testing.T) {
+	PropagateAll(TwoBody{}, nil, 0, 4, nil) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	PropagateAll(TwoBody{}, make([]Satellite, 2), 0, 4, make([]State, 1))
+}
+
+func TestPrecomputeRefresh(t *testing.T) {
+	s := leoSat(t)
+	oldPeriod := s.Period()
+	s.Elements.SemiMajorAxis = 14000
+	s.Precompute()
+	if s.Period() <= oldPeriod {
+		t.Error("Precompute did not refresh mean motion")
+	}
+}
+
+func BenchmarkTwoBodyState(b *testing.B) {
+	s := MustSatellite(1, orbit.Elements{SemiMajorAxis: 7000, Eccentricity: 0.0025, Inclination: 0.9})
+	prop := TwoBody{}
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		p, _ := prop.State(&s, float64(i))
+		acc += p.X
+	}
+	sinkF = acc
+}
+
+func BenchmarkJ2State(b *testing.B) {
+	s := MustSatellite(1, orbit.Elements{SemiMajorAxis: 7000, Eccentricity: 0.0025, Inclination: 0.9})
+	prop := J2{}
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		p, _ := prop.State(&s, float64(i))
+		acc += p.X
+	}
+	sinkF = acc
+}
+
+var sinkF float64

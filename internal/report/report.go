@@ -1,0 +1,298 @@
+// Package report renders the experiment harness's tables, series and heat
+// maps as aligned ASCII (for the terminal) and CSV (for downstream
+// plotting). Every table and figure of the paper's evaluation section is
+// regenerated through these primitives by cmd/paperbench.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders floats compactly: integers without decimals, small
+// magnitudes with enough precision, large ones with thousands grouping.
+func FormatFloat(x float64) string {
+	switch {
+	case math.IsNaN(x):
+		return "NaN"
+	case math.IsInf(x, 0):
+		return "Inf"
+	case x == math.Trunc(x) && math.Abs(x) < 1e15:
+		return GroupThousands(fmt.Sprintf("%.0f", x))
+	case math.Abs(x) >= 1000:
+		return GroupThousands(fmt.Sprintf("%.1f", x))
+	case math.Abs(x) >= 1:
+		return fmt.Sprintf("%.3f", x)
+	case x == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.4g", x)
+	}
+}
+
+// GroupThousands inserts thin separators into the integer part of s.
+func GroupThousands(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	intPart, frac := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, frac = s[:i], s[i:]
+	}
+	if len(intPart) > 3 {
+		var b strings.Builder
+		pre := len(intPart) % 3
+		if pre > 0 {
+			b.WriteString(intPart[:pre])
+		}
+		for i := pre; i < len(intPart); i += 3 {
+			if b.Len() > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(intPart[i : i+3])
+		}
+		intPart = b.String()
+	}
+	if neg {
+		return "-" + intPart + frac
+	}
+	return intPart + frac
+}
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Columns))
+		copy(padded, row)
+		if err := writeRow(padded); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV renders the table as CSV (RFC-4180-style quoting for cells
+// containing commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = csvEscape(c)
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// String renders the ASCII form.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteASCII(&b)
+	return b.String()
+}
+
+// Series is one named line of a figure: y over x.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a set of series over a shared x axis (a paper figure).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a point to the named series, creating it on first use.
+func (f *Figure) Add(series string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].X = append(f.Series[i].X, x)
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, X: []float64{x}, Y: []float64{y}})
+}
+
+// WriteCSV renders the figure as a long-format CSV: series,x,y.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "series,%s,%s\n", csvEscape(nonEmpty(f.XLabel, "x")), csvEscape(nonEmpty(f.YLabel, "y"))); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// WriteASCII renders the figure as a table of x → one column per series,
+// which is how the runtime figures print in the terminal.
+func (f *Figure) WriteASCII(w io.Writer) error {
+	// Collect the union of x values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	cols := []string{nonEmpty(f.XLabel, "x")}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(f.Title, cols...)
+	for _, x := range xs {
+		row := make([]interface{}, 0, len(cols))
+		row = append(row, x)
+		for _, s := range f.Series {
+			val := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					val = FormatFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		t.AddRow(row...)
+	}
+	return t.WriteASCII(w)
+}
+
+// HeatMap renders a 2-D density grid (rows × cols, row 0 at the bottom) as
+// ASCII art using a luminance ramp — the Fig. 9 terminal rendering.
+func HeatMap(w io.Writer, title string, grid [][]float64, xLabel, yLabel string) error {
+	if _, err := fmt.Fprintf(w, "%s  (y: %s ↑, x: %s →)\n", title, yLabel, xLabel); err != nil {
+		return err
+	}
+	ramp := []byte(" .:-=+*#%@")
+	maxV := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	for r := len(grid) - 1; r >= 0; r-- {
+		var b strings.Builder
+		for _, v := range grid[r] {
+			idx := 0
+			if maxV > 0 {
+				// Log-ish scaling so sparse bands remain visible.
+				idx = int(math.Sqrt(v/maxV) * float64(len(ramp)-1))
+			}
+			b.WriteByte(ramp[idx])
+		}
+		if _, err := fmt.Fprintf(w, "|%s|\n", b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

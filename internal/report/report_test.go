@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableASCII(t *testing.T) {
+	tbl := NewTable("Demo", "Name", "Value")
+	tbl.AddRow("alpha", 1234567.0)
+	tbl.AddRow("b", 0.125)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "1,234,567") {
+		t.Errorf("thousands grouping missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.125") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator equal width prefixes.
+	if len(lines[1]) == 0 || lines[2][0] != '-' {
+		t.Errorf("separator malformed:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x,y", `q"q`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"q\"\"q\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{1500, "1,500"},
+		{1234.56, "1,234.6"},
+		{0.00123, "0.00123"},
+		{3.14159, "3.142"},
+		{-42000, "-42,000"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGroupThousands(t *testing.T) {
+	cases := map[string]string{
+		"1":       "1",
+		"123":     "123",
+		"1234":    "1,234",
+		"1234567": "1,234,567",
+		"-1234.5": "-1,234.5",
+		"1024000": "1,024,000",
+	}
+	for in, want := range cases {
+		if got := GroupThousands(in); got != want {
+			t.Errorf("GroupThousands(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureAddAndCSV(t *testing.T) {
+	var f Figure
+	f.XLabel, f.YLabel = "n", "seconds"
+	f.Add("grid", 2000, 1.5)
+	f.Add("grid", 4000, 3.25)
+	f.Add("hybrid", 2000, 0.75)
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "series,n,seconds\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, "grid,4000,3.25") {
+		t.Errorf("CSV rows wrong: %q", out)
+	}
+}
+
+func TestFigureASCII(t *testing.T) {
+	var f Figure
+	f.Title, f.XLabel = "Fig. 10a", "satellites"
+	f.Add("legacy", 2000, 10)
+	f.Add("grid", 2000, 12)
+	f.Add("legacy", 4000, 40)
+	var b strings.Builder
+	if err := f.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "legacy") || !strings.Contains(out, "grid") {
+		t.Errorf("series columns missing:\n%s", out)
+	}
+	// Missing grid@4000 renders as an empty cell, not a crash.
+	if !strings.Contains(out, "4,000") {
+		t.Errorf("x values missing:\n%s", out)
+	}
+}
+
+func TestHeatMap(t *testing.T) {
+	grid := [][]float64{
+		{0, 0, 0},
+		{0, 1, 0},
+		{0, 0, 0},
+	}
+	var b strings.Builder
+	if err := HeatMap(&b, "Fig. 9", grid, "a", "e"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The hot cell is in the middle row and renders as the densest glyph.
+	if !strings.Contains(lines[2], "@") {
+		t.Errorf("hot cell not rendered:\n%s", out)
+	}
+	// All-zero grid must not divide by zero.
+	var b2 strings.Builder
+	if err := HeatMap(&b2, "empty", [][]float64{{0, 0}}, "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+}

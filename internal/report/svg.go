@@ -1,0 +1,161 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering of figures: each series becomes a polyline with markers,
+// axes carry min/max tick labels, and an optional logarithmic y axis
+// handles the runtime figures' order-of-magnitude spreads (Fig. 10's plots
+// are log-scale in the paper).
+
+// seriesPalette cycles across series.
+var seriesPalette = []string{
+	"#1b7f4d", // green (legacy in the paper's plots)
+	"#3465a4", // blue
+	"#8a8a8a", // grey
+	"#d08700", // yellow/orange
+	"#a40000", // red
+	"#75507b", // purple
+}
+
+// SVGOptions controls rendering.
+type SVGOptions struct {
+	// WidthPx/HeightPx default to 720×432.
+	WidthPx, HeightPx int
+	// LogY plots log10(y); non-positive values are dropped from the plot.
+	LogY bool
+}
+
+// WriteSVG renders the figure as a standalone SVG document.
+func (f *Figure) WriteSVG(w io.Writer, opts SVGOptions) error {
+	width := opts.WidthPx
+	if width <= 0 {
+		width = 720
+	}
+	height := opts.HeightPx
+	if height <= 0 {
+		height = 432
+	}
+	const (
+		marginL = 70
+		marginR = 140
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yVal := func(y float64) (float64, bool) {
+		if opts.LogY {
+			if y <= 0 {
+				return 0, false
+			}
+			return math.Log10(y), true
+		}
+		return y, true
+	}
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			yv, ok := yVal(s.Y[i])
+			if !ok {
+				continue
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, yv)
+			maxY = math.Max(maxY, yv)
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("report: figure %q has no drawable points", f.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(yv float64) float64 { return float64(marginT) + (1-(yv-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if f.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginL, xmlEscape(f.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Axis labels and extremes.
+	yLab := f.YLabel
+	if opts.LogY {
+		yLab = "log10(" + nonEmpty(yLab, "y") + ")"
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		marginL, height-12, xmlEscape(nonEmpty(f.XLabel, "x")))
+	fmt.Fprintf(&b, `<text x="12" y="%d" font-family="sans-serif" font-size="12" transform="rotate(-90 12 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), xmlEscape(yLab))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+		marginL, height-marginB+16, xmlEscape(FormatFloat(minX)))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+		width-marginR, height-marginB+16, xmlEscape(FormatFloat(maxX)))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+		marginL-6, height-marginB, xmlEscape(fmtAxis(minY, opts.LogY)))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+		marginL-6, marginT+10, xmlEscape(fmtAxis(maxY, opts.LogY)))
+
+	// Series.
+	for si, s := range f.Series {
+		color := seriesPalette[si%len(seriesPalette)]
+		var pts []string
+		for i := range s.X {
+			yv, ok := yVal(s.Y[i])
+			if !ok {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(yv)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			xy := strings.SplitN(p, ",", 2)
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", width-marginR+12, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR+27, ly+9, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtAxis(v float64, logY bool) string {
+	if logY {
+		return FormatFloat(math.Pow(10, v))
+	}
+	return FormatFloat(v)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	var f Figure
+	f.Title = "Fig. 10a <demo>"
+	f.XLabel, f.YLabel = "satellites", "runtime [s]"
+	f.Add("legacy", 1000, 0.2)
+	f.Add("legacy", 2000, 0.76)
+	f.Add("legacy", 4000, 3.0)
+	f.Add("grid", 1000, 0.93)
+	f.Add("grid", 2000, 1.94)
+	f.Add("grid", 4000, 3.9)
+	return &f
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleFigure().WriteSVG(&sb, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "circle", "legacy", "grid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Title characters must be escaped.
+	if strings.Contains(out, "<demo>") {
+		t.Error("unescaped markup in title")
+	}
+	if !strings.Contains(out, "&lt;demo&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteSVGLogScale(t *testing.T) {
+	f := sampleFigure()
+	f.Add("grid", 8000, 0) // non-positive point must be dropped under LogY
+	var sb strings.Builder
+	if err := f.WriteSVG(&sb, SVGOptions{LogY: true, WidthPx: 400, HeightPx: 300}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `width="400"`) {
+		t.Error("custom size ignored")
+	}
+	if !strings.Contains(out, "log10") {
+		t.Error("log axis label missing")
+	}
+}
+
+func TestWriteSVGEmptyFigure(t *testing.T) {
+	var f Figure
+	var sb strings.Builder
+	if err := f.WriteSVG(&sb, SVGOptions{}); err == nil {
+		t.Error("empty figure rendered without error")
+	}
+	// All-non-positive under log scale is also empty.
+	f.Add("a", 1, -5)
+	if err := f.WriteSVG(&sb, SVGOptions{LogY: true}); err == nil {
+		t.Error("undrawable log figure rendered without error")
+	}
+}
+
+func TestWriteSVGSinglePoint(t *testing.T) {
+	var f Figure
+	f.Add("only", 5, 5)
+	var sb strings.Builder
+	if err := f.WriteSVG(&sb, SVGOptions{}); err != nil {
+		t.Fatalf("degenerate ranges: %v", err)
+	}
+	if !strings.Contains(sb.String(), "circle") {
+		t.Error("marker missing for single point")
+	}
+}

@@ -1,0 +1,141 @@
+// Package risk estimates collision probability (Pc) for screened
+// conjunctions — the quantity the "more detailed subsequent conjunction
+// assessment process" (§III) derives from each screening hit before an
+// avoidance decision.
+//
+// The model is the classical short-encounter formulation (Foster &
+// Estes 1992; Akella & Alfriend 2000) specialised to circularly symmetric
+// position uncertainty: project the combined position uncertainty onto the
+// encounter plane, centre a Gaussian at the miss distance m with standard
+// deviation σ = √(σ_a² + σ_b²), and integrate it over the combined
+// hard-body circle of radius R:
+//
+//	Pc = ∫₀ᴿ (r/σ²) · exp(−(r² + m²)/(2σ²)) · I₀(r·m/σ²) dr
+//
+// (a Rice distribution CDF). I₀ is the modified Bessel function of the
+// first kind. For m = 0 this reduces to Pc = 1 − exp(−R²/2σ²).
+package risk
+
+import (
+	"fmt"
+	"math"
+)
+
+// BesselI0 evaluates the modified Bessel function of the first kind of
+// order zero, using the Abramowitz & Stegun 9.8.1/9.8.2 polynomial
+// approximations (|ε| < 2e-7 over the real line).
+func BesselI0(x float64) float64 {
+	ax := math.Abs(x)
+	if ax < 3.75 {
+		t := x / 3.75
+		t *= t
+		return 1.0 + t*(3.5156229+t*(3.0899424+t*(1.2067492+
+			t*(0.2659732+t*(0.0360768+t*0.0045813)))))
+	}
+	t := 3.75 / ax
+	return math.Exp(ax) / math.Sqrt(ax) *
+		(0.39894228 + t*(0.01328592+t*(0.00225319+t*(-0.00157565+
+			t*(0.00916281+t*(-0.02057706+t*(0.02635537+
+				t*(-0.01647633+t*0.00392377))))))))
+}
+
+// besselI0Scaled returns e^(−x)·I₀(x), stable for large x.
+func besselI0Scaled(x float64) float64 {
+	ax := math.Abs(x)
+	if ax < 3.75 {
+		return math.Exp(-ax) * BesselI0(x)
+	}
+	t := 3.75 / ax
+	return 1 / math.Sqrt(ax) *
+		(0.39894228 + t*(0.01328592+t*(0.00225319+t*(-0.00157565+
+			t*(0.00916281+t*(-0.02057706+t*(0.02635537+
+				t*(-0.01647633+t*0.00392377))))))))
+}
+
+// Probability computes the short-encounter collision probability.
+//
+//	missKm      — miss distance m at TCA (km)
+//	sigmaAKm    — object A's 1-σ position uncertainty (km)
+//	sigmaBKm    — object B's 1-σ position uncertainty (km)
+//	hardBodyKm  — combined hard-body radius R (km), i.e. the sum of the
+//	              two objects' effective radii
+//
+// Degenerate inputs: R ≤ 0 yields 0; zero combined uncertainty yields a
+// deterministic 0/1 outcome from comparing m against R.
+func Probability(missKm, sigmaAKm, sigmaBKm, hardBodyKm float64) (float64, error) {
+	switch {
+	case missKm < 0 || math.IsNaN(missKm):
+		return 0, fmt.Errorf("risk: invalid miss distance %g", missKm)
+	case sigmaAKm < 0 || sigmaBKm < 0:
+		return 0, fmt.Errorf("risk: negative uncertainty (%g, %g)", sigmaAKm, sigmaBKm)
+	case hardBodyKm < 0 || math.IsNaN(hardBodyKm):
+		return 0, fmt.Errorf("risk: invalid hard-body radius %g", hardBodyKm)
+	}
+	if hardBodyKm == 0 {
+		return 0, nil
+	}
+	sigma2 := sigmaAKm*sigmaAKm + sigmaBKm*sigmaBKm
+	if sigma2 == 0 {
+		if missKm <= hardBodyKm {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	// Composite Simpson integration of the Rice density over [0, R].
+	// Integrand (numerically stabilised with the scaled Bessel):
+	//   f(r) = (r/σ²) · exp(−(r−m)²/(2σ²)) · [e^(−rm/σ²)·I₀(rm/σ²)]
+	// because exp(−(r²+m²)/2σ²)·I₀(rm/σ²) = exp(−(r−m)²/2σ²)·e^(−rm/σ²)I₀(rm/σ²).
+	f := func(r float64) float64 {
+		z := r * missKm / sigma2
+		d := r - missKm
+		return r / sigma2 * math.Exp(-d*d/(2*sigma2)) * besselI0Scaled(z)
+	}
+	const steps = 2048 // even
+	h := hardBodyKm / steps
+	sum := f(0) + f(hardBodyKm)
+	for i := 1; i < steps; i++ {
+		r := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * f(r)
+		} else {
+			sum += 2 * f(r)
+		}
+	}
+	pc := sum * h / 3
+	// Clamp roundoff excursions.
+	if pc < 0 {
+		pc = 0
+	}
+	if pc > 1 {
+		pc = 1
+	}
+	return pc, nil
+}
+
+// Assessment couples a screened conjunction with its risk number.
+type Assessment struct {
+	MissKm float64
+	Pc     float64
+	// Category buckets the result by the operationally common decision
+	// thresholds: "negligible" (<1e-7), "monitor" (<1e-4), "mitigate".
+	Category string
+}
+
+// Assess computes Pc and the decision bucket for one conjunction.
+func Assess(missKm, sigmaAKm, sigmaBKm, hardBodyKm float64) (Assessment, error) {
+	pc, err := Probability(missKm, sigmaAKm, sigmaBKm, hardBodyKm)
+	if err != nil {
+		return Assessment{}, err
+	}
+	a := Assessment{MissKm: missKm, Pc: pc}
+	switch {
+	case pc < 1e-7:
+		a.Category = "negligible"
+	case pc < 1e-4:
+		a.Category = "monitor"
+	default:
+		a.Category = "mitigate"
+	}
+	return a, nil
+}

@@ -1,0 +1,179 @@
+package risk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBesselI0KnownValues(t *testing.T) {
+	// Reference values from Abramowitz & Stegun tables.
+	cases := []struct{ x, want float64 }{
+		{0, 1},
+		{0.5, 1.0634834},
+		{1, 1.2660658},
+		{2, 2.2795853},
+		{3.75, 9.1189442}, // branch boundary
+		{5, 27.239872},
+		{10, 2815.7167},
+	}
+	for _, c := range cases {
+		if got := BesselI0(c.x); math.Abs(got-c.want)/c.want > 1e-5 {
+			t.Errorf("I0(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	// Even function.
+	if BesselI0(-2) != BesselI0(2) {
+		t.Error("I0 not even")
+	}
+}
+
+func TestBesselI0ScaledStableForLargeX(t *testing.T) {
+	// e^(−x)·I0(x) ≈ 1/√(2πx) for large x.
+	for _, x := range []float64{50, 500, 5000} {
+		got := besselI0Scaled(x)
+		want := 1 / math.Sqrt(2*math.Pi*x)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("scaled I0(%v) = %v, want ≈%v", x, got, want)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("scaled I0(%v) overflowed", x)
+		}
+	}
+}
+
+func TestProbabilityZeroMissClosedForm(t *testing.T) {
+	// m = 0 → Pc = 1 − exp(−R²/2σ²) exactly.
+	for _, c := range []struct{ r, sigma float64 }{
+		{0.01, 0.1}, {0.05, 0.05}, {0.2, 1.0},
+	} {
+		got, err := Probability(0, c.sigma, 0, c.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-c.r*c.r/(2*c.sigma*c.sigma))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Pc(m=0,R=%v,σ=%v) = %v, want %v", c.r, c.sigma, got, want)
+		}
+	}
+}
+
+func TestProbabilityCombinesSigmas(t *testing.T) {
+	// σ_a and σ_b combine in quadrature: (3,4) behaves exactly like (5,0).
+	a, err := Probability(2, 3, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Probability(2, 5, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("quadrature combination broken: %v vs %v", a, b)
+	}
+}
+
+func TestProbabilityMonotoneInMiss(t *testing.T) {
+	prev := math.Inf(1)
+	for _, m := range []float64{0, 0.5, 1, 2, 5, 10} {
+		pc, err := Probability(m, 1, 0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc > prev+1e-12 {
+			t.Errorf("Pc increased with miss distance at m=%v", m)
+		}
+		prev = pc
+	}
+}
+
+func TestProbabilityDegenerateCases(t *testing.T) {
+	if pc, _ := Probability(5, 1, 1, 0); pc != 0 {
+		t.Error("zero hard body must give 0")
+	}
+	if pc, _ := Probability(0.01, 0, 0, 0.05); pc != 1 {
+		t.Error("deterministic hit must give 1")
+	}
+	if pc, _ := Probability(1, 0, 0, 0.05); pc != 0 {
+		t.Error("deterministic miss must give 0")
+	}
+	for _, bad := range [][4]float64{
+		{-1, 1, 1, 0.1}, {1, -1, 1, 0.1}, {1, 1, -1, 0.1}, {1, 1, 1, -0.1},
+		{math.NaN(), 1, 1, 0.1},
+	} {
+		if _, err := Probability(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Errorf("invalid input %v accepted", bad)
+		}
+	}
+}
+
+func TestProbabilityTypicalConjunction(t *testing.T) {
+	// A 200 m miss with 100 m combined uncertainty and 10 m hard body —
+	// an operationally serious event; Pc must be meaningfully large but <1.
+	pc, err := Probability(0.2, 0.1, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc < 1e-4 || pc > 0.5 {
+		t.Errorf("Pc = %v, expected in the operationally serious band", pc)
+	}
+	// A 10 km miss with the same uncertainty is negligible.
+	pc2, err := Probability(10, 0.1, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc2 > 1e-30 {
+		t.Errorf("distant miss Pc = %v, want ≈0", pc2)
+	}
+}
+
+func TestPropProbabilityInUnitRange(t *testing.T) {
+	f := func(mRaw, sRaw, rRaw float64) bool {
+		m := math.Mod(math.Abs(mRaw), 50)
+		s := math.Mod(math.Abs(sRaw), 10)
+		r := math.Mod(math.Abs(rRaw), 2)
+		if math.IsNaN(m) || math.IsNaN(s) || math.IsNaN(r) {
+			return true
+		}
+		pc, err := Probability(m, s, 0, r)
+		if err != nil {
+			return false
+		}
+		return pc >= 0 && pc <= 1 && !math.IsNaN(pc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssessCategories(t *testing.T) {
+	a, err := Assess(10, 0.1, 0.1, 0.01) // far miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Category != "negligible" {
+		t.Errorf("far miss category = %q", a.Category)
+	}
+	b, err := Assess(0.05, 0.1, 0, 0.01) // close encounter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Category == "negligible" {
+		t.Errorf("close encounter Pc=%v category = %q", b.Pc, b.Category)
+	}
+	if _, err := Assess(-1, 0, 0, 0.1); err == nil {
+		t.Error("invalid assess input accepted")
+	}
+}
+
+func BenchmarkProbability(b *testing.B) {
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		pc, _ := Probability(0.5+float64(i%10)*0.1, 0.2, 0.1, 0.02)
+		acc += pc
+	}
+	sink = acc
+}
+
+var sink float64

@@ -1,0 +1,171 @@
+package sieve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/legacy"
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+	"repro/internal/propagation"
+)
+
+func meetingPair(idA, idB int32, tMeet, incB, radialOffsetKm float64) (propagation.Satellite, propagation.Satellite) {
+	elA := orbit.Elements{SemiMajorAxis: 7000, Eccentricity: 0.0005, Inclination: 0.4}
+	elB := orbit.Elements{SemiMajorAxis: 7000 + radialOffsetKm, Eccentricity: 0.0005, Inclination: incB}
+	elA.MeanAnomaly = mathx.NormalizeAngle(-elA.MeanMotion() * tMeet)
+	elB.MeanAnomaly = mathx.NormalizeAngle(-elB.MeanMotion() * tMeet)
+	return propagation.MustSatellite(idA, elA), propagation.MustSatellite(idB, elB)
+}
+
+func TestSieveDetectsEngineeredConjunction(t *testing.T) {
+	a, b := meetingPair(0, 1, 1000, 1.1, 0)
+	res, err := New(Config{ThresholdKm: 2, DurationSeconds: 2000}).Screen([]propagation.Satellite{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conjunctions) != 1 {
+		t.Fatalf("conjunctions = %+v, want 1", res.Conjunctions)
+	}
+	c := res.Conjunctions[0]
+	if math.Abs(c.TCA-1000) > 2 {
+		t.Errorf("TCA = %v, want ≈1000", c.TCA)
+	}
+	if c.PCA > 0.5 {
+		t.Errorf("PCA = %v, want ≈0", c.PCA)
+	}
+	if res.Stats.Refinements == 0 || res.Stats.FineTests == 0 {
+		t.Errorf("funnel counters empty: %+v", res.Stats)
+	}
+}
+
+func TestSieveNearMissIgnored(t *testing.T) {
+	a, b := meetingPair(0, 1, 1000, 1.1, 10)
+	res, err := New(Config{ThresholdKm: 2, DurationSeconds: 2000}).Screen([]propagation.Satellite{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conjunctions) != 0 {
+		t.Errorf("10 km miss reported at 2 km: %+v", res.Conjunctions)
+	}
+}
+
+func TestSieveShellPrefilter(t *testing.T) {
+	a := propagation.MustSatellite(0, orbit.Elements{SemiMajorAxis: 7000, Eccentricity: 0.001, Inclination: 0.4})
+	b := propagation.MustSatellite(1, orbit.Elements{SemiMajorAxis: 7800, Eccentricity: 0.001, Inclination: 1.0})
+	res, err := New(Config{ThresholdKm: 2, DurationSeconds: 600}).Screen([]propagation.Satellite{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShellSkipped != 1 || res.Stats.Pairs != 0 {
+		t.Errorf("shell prefilter did not drop the pair: %+v", res.Stats)
+	}
+}
+
+func TestSieveRequiresDuration(t *testing.T) {
+	if _, err := New(Config{}).Screen(nil); err != core.ErrNoDuration {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSieveAgreesWithLegacy(t *testing.T) {
+	// Mixed population: sieve and legacy must find the same pairs with
+	// matching TCAs.
+	var sats []propagation.Satellite
+	a0, b0 := meetingPair(0, 1, 400, 1.2, 0.4)
+	a1, b1 := meetingPair(2, 3, 900, 0.8, 1.2)
+	sats = append(sats, a0, b0, a1, b1)
+	rng := mathx.NewSplitMix64(5)
+	for i := int32(4); i < 12; i++ {
+		el := orbit.Elements{
+			SemiMajorAxis: 7000 + rng.UniformRange(-20, 20),
+			Eccentricity:  rng.UniformRange(0, 0.002),
+			Inclination:   rng.UniformRange(0.1, 3),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		}
+		sats = append(sats, propagation.MustSatellite(i, el))
+	}
+	const span = 1500.0
+	sv, err := New(Config{ThresholdKm: 2, DurationSeconds: span}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := legacy.New(legacy.Config{ThresholdKm: 2, DurationSeconds: span}).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairsOf := func(cs []core.Conjunction) map[[2]int32][]float64 {
+		m := map[[2]int32][]float64{}
+		for _, c := range cs {
+			m[[2]int32{c.A, c.B}] = append(m[[2]int32{c.A, c.B}], c.TCA)
+		}
+		return m
+	}
+	sp, lp := pairsOf(sv.Conjunctions), pairsOf(lg.Conjunctions)
+	for pair, lts := range lp {
+		sts, ok := sp[pair]
+		if !ok {
+			t.Errorf("sieve missed legacy pair %v (TCAs %v)", pair, lts)
+			continue
+		}
+		for _, lt := range lts {
+			matched := false
+			for _, st := range sts {
+				if math.Abs(st-lt) < 3 {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("pair %v: legacy TCA %v unmatched in sieve %v", pair, lt, sts)
+			}
+		}
+	}
+	for pair := range sp {
+		if _, ok := lp[pair]; !ok {
+			t.Errorf("sieve reported pair %v that legacy lacks", pair)
+		}
+	}
+}
+
+func TestSieveStepInsensitivity(t *testing.T) {
+	// Fast head-on encounters must not be lost at coarser steps (the sieve
+	// distance scales with Δt).
+	a, b := meetingPair(0, 1, 777, 2.8, 0)
+	for _, dt := range []float64{2, 8, 20} {
+		res, err := New(Config{ThresholdKm: 2, DurationSeconds: 1500, StepSeconds: dt}).Screen(
+			[]propagation.Satellite{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UniquePairs() != 1 {
+			t.Errorf("dt=%v: unique pairs = %d, want 1", dt, res.UniquePairs())
+		}
+	}
+}
+
+func BenchmarkSieve(b *testing.B) {
+	rng := mathx.NewSplitMix64(1)
+	var sats []propagation.Satellite
+	for i := int32(0); i < 300; i++ {
+		el := orbit.Elements{
+			SemiMajorAxis: 7000 + rng.UniformRange(-50, 50),
+			Eccentricity:  rng.UniformRange(0, 0.003),
+			Inclination:   rng.UniformRange(0, math.Pi),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		}
+		sats = append(sats, propagation.MustSatellite(i, el))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Config{ThresholdKm: 2, DurationSeconds: 300}).Screen(sats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

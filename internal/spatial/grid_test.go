@@ -1,0 +1,238 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec3"
+)
+
+func TestCellSizeEq1(t *testing.T) {
+	// d = 2 km, s_ps = 9 s → g_c = 2 + 7.8·9 = 72.2 km (the paper's default
+	// hybrid parameterisation).
+	if got := CellSize(2, 9); math.Abs(got-72.2) > 1e-12 {
+		t.Errorf("CellSize(2,9) = %v, want 72.2", got)
+	}
+	if got := CellSize(2, 1); math.Abs(got-9.8) > 1e-12 {
+		t.Errorf("CellSize(2,1) = %v, want 9.8", got)
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := NewGrid(-1, 0); err == nil {
+		t.Error("negative cell size accepted")
+	}
+	if _, err := NewGrid(math.NaN(), 0); err == nil {
+		t.Error("NaN cell size accepted")
+	}
+	// 0.02 km cells over the default cube need >2^21 cells per axis.
+	if _, err := NewGrid(0.02, 0); err == nil {
+		t.Error("cell size overflowing coordinate bits accepted")
+	}
+	g, err := NewGrid(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HalfExtent() != DefaultHalfExtent {
+		t.Errorf("default half extent = %v", g.HalfExtent())
+	}
+}
+
+func TestCoordOf(t *testing.T) {
+	g, _ := NewGrid(10, 100)
+	cases := []struct {
+		pos  vec3.V
+		want Coord
+	}{
+		{vec3.New(0, 0, 0), Coord{0, 0, 0}},
+		{vec3.New(5, 5, 5), Coord{0, 0, 0}},
+		{vec3.New(10, 0, 0), Coord{1, 0, 0}},
+		{vec3.New(-0.001, 0, 0), Coord{-1, 0, 0}},
+		{vec3.New(-10.001, 25, 99), Coord{-2, 2, 9}},
+	}
+	for _, c := range cases {
+		got, ok := g.CoordOf(c.pos)
+		if !ok {
+			t.Errorf("CoordOf(%v) out of bounds", c.pos)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("CoordOf(%v) = %v, want %v", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestCoordOfOutOfBounds(t *testing.T) {
+	g, _ := NewGrid(10, 100)
+	for _, pos := range []vec3.V{
+		vec3.New(150, 0, 0),
+		vec3.New(0, -150, 0),
+		vec3.New(0, 0, 1e6),
+	} {
+		if _, ok := g.CoordOf(pos); ok {
+			t.Errorf("CoordOf(%v) accepted outside cube", pos)
+		}
+	}
+}
+
+func TestPackUnpackKey(t *testing.T) {
+	cases := []Coord{
+		{0, 0, 0},
+		{1, 2, 3},
+		{-1, -2, -3},
+		{maxCoord, maxCoord, maxCoord},
+		{minCoord, minCoord, minCoord},
+		{12345, -54321, 777},
+	}
+	for _, c := range cases {
+		if got := UnpackKey(PackKey(c)); got != c {
+			t.Errorf("roundtrip %v → %v", c, got)
+		}
+	}
+}
+
+func TestPackKeyTopBitZero(t *testing.T) {
+	// Keys must never collide with the lock-free empty sentinel (all ones).
+	for _, c := range []Coord{{maxCoord, maxCoord, maxCoord}, {minCoord, minCoord, minCoord}} {
+		if PackKey(c)>>63 != 0 {
+			t.Errorf("PackKey(%v) has top bit set", c)
+		}
+	}
+}
+
+func TestPropPackKeyInjective(t *testing.T) {
+	f := func(x1, y1, z1, x2, y2, z2 int32) bool {
+		m := func(v int32) int32 { return v % (maxCoord + 1) }
+		a := Coord{m(x1), m(y1), m(z1)}
+		b := Coord{m(x2), m(y2), m(z2)}
+		if a == b {
+			return PackKey(a) == PackKey(b)
+		}
+		return PackKey(a) != PackKey(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborKeysInterior(t *testing.T) {
+	g, _ := NewGrid(10, 1000)
+	got := g.NeighborKeys(Coord{3, -4, 5}, nil)
+	if len(got) != 26 {
+		t.Fatalf("interior cell has %d neighbours, want 26", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range got {
+		if seen[k] {
+			t.Error("duplicate neighbour key")
+		}
+		seen[k] = true
+		c := UnpackKey(k)
+		dx, dy, dz := c.X-3, c.Y+4, c.Z-5
+		if dx < -1 || dx > 1 || dy < -1 || dy > 1 || dz < -1 || dz > 1 || (dx == 0 && dy == 0 && dz == 0) {
+			t.Errorf("bad neighbour offset (%d,%d,%d)", dx, dy, dz)
+		}
+	}
+}
+
+func TestNeighborKeysCorner(t *testing.T) {
+	g, _ := NewGrid(10, 100)
+	m := g.MaxAbsCoord()
+	got := g.NeighborKeys(Coord{m, m, m}, nil)
+	if len(got) != 7 {
+		t.Errorf("corner cell has %d neighbours, want 7", len(got))
+	}
+}
+
+func TestHalfNeighborKeysPartition(t *testing.T) {
+	// For an interior cell: half-neighbours ∪ their mirror images = all 26,
+	// with no overlap.
+	g, _ := NewGrid(10, 1000)
+	c := Coord{0, 0, 0}
+	half := g.HalfNeighborKeys(c, nil)
+	if len(half) != 13 {
+		t.Fatalf("half neighbourhood size %d, want 13", len(half))
+	}
+	all := map[uint64]bool{}
+	for _, k := range g.NeighborKeys(c, nil) {
+		all[k] = true
+	}
+	for _, k := range half {
+		if !all[k] {
+			t.Errorf("half neighbour %v not a neighbour", UnpackKey(k))
+		}
+		n := UnpackKey(k)
+		mirror := PackKey(Coord{-n.X, -n.Y, -n.Z})
+		if !all[mirror] {
+			t.Errorf("mirror of %v missing", n)
+		}
+		delete(all, k)
+		delete(all, mirror)
+	}
+	if len(all) != 0 {
+		t.Errorf("%d neighbours not covered by half set ∪ mirrors", len(all))
+	}
+}
+
+func TestCellCenter(t *testing.T) {
+	g, _ := NewGrid(10, 100)
+	ctr := g.CellCenter(Coord{0, 0, 0})
+	if ctr.Dist(vec3.New(5, 5, 5)) > 1e-12 {
+		t.Errorf("CellCenter(0,0,0) = %v, want (5,5,5)", ctr)
+	}
+	// The centre must map back to its own cell.
+	c, ok := g.CoordOf(g.CellCenter(Coord{-3, 2, 7}))
+	if !ok || c != (Coord{-3, 2, 7}) {
+		t.Errorf("centre of (-3,2,7) maps to %v", c)
+	}
+}
+
+func TestPropAdjacentPositionsAdjacentCells(t *testing.T) {
+	// Two positions closer than one cell size are in the same or adjacent
+	// cells — the invariant conjunction detection relies on.
+	g, _ := NewGrid(25, 2000)
+	f := func(x, y, z, dx, dy, dz float64) bool {
+		clamp := func(v, lim float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, lim)
+		}
+		p := vec3.New(clamp(x, 1900), clamp(y, 1900), clamp(z, 1900))
+		d := vec3.New(clamp(dx, 14), clamp(dy, 14), clamp(dz, 14)) // |d| < 25
+		q := p.Add(d)
+		cp, ok1 := g.CoordOf(p)
+		cq, ok2 := g.CoordOf(q)
+		if !ok1 || !ok2 {
+			return true
+		}
+		return abs32(cp.X-cq.X) <= 1 && abs32(cp.Y-cq.Y) <= 1 && abs32(cp.Z-cq.Z) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestRequiredHalfExtent(t *testing.T) {
+	if got := RequiredHalfExtent(42164, 10); got != 42184 {
+		t.Errorf("RequiredHalfExtent = %v", got)
+	}
+}
+
+func TestCellsPerAxis(t *testing.T) {
+	g, _ := NewGrid(10, 100)
+	if got := g.CellsPerAxis(); got != 21 { // indices -10..10
+		t.Errorf("CellsPerAxis = %d, want 21", got)
+	}
+}

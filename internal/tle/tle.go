@@ -1,0 +1,410 @@
+// Package tle reads and writes NORAD two-line element sets. The paper's
+// synthetic population is seeded from the Celestrak active-satellite TLE
+// catalogue; this package provides the catalogue data path: strict parsing
+// with checksum verification, conversion to the repository's Keplerian
+// element type, and emission of synthetic TLE files so every tool can
+// ingest either real or generated catalogues.
+package tle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+)
+
+// TLE is one parsed two-line element set.
+type TLE struct {
+	Name           string // optional satellite name (three-line sets)
+	CatalogNumber  int    // NORAD catalogue number
+	Classification byte   // 'U', 'C', or 'S'
+	IntlDesignator string
+	EpochYear      int     // full four-digit year
+	EpochDay       float64 // day of year with fraction
+	MeanMotionDot  float64 // rev/day²·2 (first derivative field, as stored)
+	BStar          float64 // drag term, 1/Earth radii
+	ElementSet     int
+	RevNumber      int
+
+	Inclination  float64 // degrees
+	RAAN         float64 // degrees
+	Eccentricity float64
+	ArgPerigee   float64 // degrees
+	MeanAnomaly  float64 // degrees
+	MeanMotion   float64 // rev/day
+}
+
+// Elements converts the TLE mean elements to this repository's Keplerian
+// element type (angles in radians, semi-major axis from the mean motion).
+func (t TLE) Elements() orbit.Elements {
+	nRad := t.MeanMotion * mathx.TwoPi / 86400.0 // rad/s
+	a := math.Cbrt(orbit.MuEarth / (nRad * nRad))
+	d2r := math.Pi / 180
+	return orbit.Elements{
+		SemiMajorAxis: a,
+		Eccentricity:  t.Eccentricity,
+		Inclination:   t.Inclination * d2r,
+		RAAN:          mathx.NormalizeAngle(t.RAAN * d2r),
+		ArgPerigee:    mathx.NormalizeAngle(t.ArgPerigee * d2r),
+		MeanAnomaly:   mathx.NormalizeAngle(t.MeanAnomaly * d2r),
+	}
+}
+
+// EpochTime converts the TLE's (year, fractional day-of-year) epoch into a
+// UTC time. Day 1.0 is January 1, 00:00 UTC, per the TLE convention.
+func (t TLE) EpochTime() time.Time {
+	jan1 := time.Date(t.EpochYear, time.January, 1, 0, 0, 0, 0, time.UTC)
+	return jan1.Add(time.Duration((t.EpochDay - 1) * 24 * float64(time.Hour)))
+}
+
+// ElementsAt converts the TLE to Keplerian elements referenced to the given
+// epoch instead of the TLE's own: the mean anomaly is advanced by n·Δt
+// (two-body motion — adequate for screening-scale epoch differences of
+// hours to days; longer gaps need a perturbed propagator).
+//
+// A catalogue's sets carry per-object epochs; aligning them to one common
+// epoch is required before a joint screening, whose t = 0 must mean the
+// same instant for every object.
+func (t TLE) ElementsAt(epoch time.Time) orbit.Elements {
+	el := t.Elements()
+	dt := epoch.Sub(t.EpochTime()).Seconds()
+	el.MeanAnomaly = mathx.NormalizeAngle(el.MeanAnomaly + el.MeanMotion()*dt)
+	return el
+}
+
+// FromElements builds a TLE from Keplerian elements. The epoch fields are
+// left for the caller; mean motion is derived from the semi-major axis.
+func FromElements(catalogNumber int, name string, el orbit.Elements) TLE {
+	r2d := 180 / math.Pi
+	return TLE{
+		Name:           name,
+		CatalogNumber:  catalogNumber,
+		Classification: 'U',
+		EpochYear:      2021,
+		EpochDay:       98.5, // 2021-04-08, the catalogue date the paper used
+		Inclination:    el.Inclination * r2d,
+		RAAN:           mathx.NormalizeAngle(el.RAAN) * r2d,
+		Eccentricity:   el.Eccentricity,
+		ArgPerigee:     mathx.NormalizeAngle(el.ArgPerigee) * r2d,
+		MeanAnomaly:    mathx.NormalizeAngle(el.MeanAnomaly) * r2d,
+		MeanMotion:     el.MeanMotion() * 86400 / mathx.TwoPi,
+	}
+}
+
+// Checksum computes the TLE line checksum: the sum of all digits plus one
+// per minus sign, modulo 10. Letters, periods, spaces and plus signs count
+// as zero.
+func Checksum(line string) int {
+	sum := 0
+	for _, c := range line {
+		switch {
+		case c >= '0' && c <= '9':
+			sum += int(c - '0')
+		case c == '-':
+			sum++
+		}
+	}
+	return sum % 10
+}
+
+// ParseError describes a malformed TLE with its line number context.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("tle: line %d: %s", e.Line, e.Msg) }
+
+// Parse parses a two-line element set (without a name line).
+func Parse(line1, line2 string) (TLE, error) {
+	var t TLE
+	if err := t.parseLine1(line1); err != nil {
+		return TLE{}, err
+	}
+	if err := t.parseLine2(line2); err != nil {
+		return TLE{}, err
+	}
+	return t, nil
+}
+
+func fixedField(line string, lo, hi int) string {
+	// 1-based inclusive column indices per the TLE specification.
+	if hi > len(line) {
+		hi = len(line)
+	}
+	if lo > len(line) {
+		return ""
+	}
+	return strings.TrimSpace(line[lo-1 : hi])
+}
+
+func (t *TLE) parseLine1(line string) error {
+	if len(line) < 68 {
+		return &ParseError{1, fmt.Sprintf("too short (%d chars, need ≥68)", len(line))}
+	}
+	if line[0] != '1' {
+		return &ParseError{1, "does not start with '1'"}
+	}
+	if len(line) >= 69 {
+		want := Checksum(line[:68])
+		got := int(line[68] - '0')
+		if want != got {
+			return &ParseError{1, fmt.Sprintf("checksum %d, want %d", got, want)}
+		}
+	}
+	num, err := strconv.Atoi(fixedField(line, 3, 7))
+	if err != nil {
+		return &ParseError{1, "bad catalogue number: " + err.Error()}
+	}
+	t.CatalogNumber = num
+	t.Classification = line[7]
+	t.IntlDesignator = fixedField(line, 10, 17)
+
+	yy, err := strconv.Atoi(fixedField(line, 19, 20))
+	if err != nil {
+		return &ParseError{1, "bad epoch year: " + err.Error()}
+	}
+	if yy < 57 { // TLE two-digit year convention: 57–99 → 19xx, 00–56 → 20xx
+		t.EpochYear = 2000 + yy
+	} else {
+		t.EpochYear = 1900 + yy
+	}
+	day, err := strconv.ParseFloat(fixedField(line, 21, 32), 64)
+	if err != nil {
+		return &ParseError{1, "bad epoch day: " + err.Error()}
+	}
+	t.EpochDay = day
+
+	if f := fixedField(line, 34, 43); f != "" {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return &ParseError{1, "bad mean motion derivative: " + err.Error()}
+		}
+		t.MeanMotionDot = v
+	}
+	if f := fixedField(line, 54, 61); f != "" {
+		v, err := parseImpliedExp(f)
+		if err != nil {
+			return &ParseError{1, "bad B* drag term: " + err.Error()}
+		}
+		t.BStar = v
+	}
+	if f := fixedField(line, 65, 68); f != "" {
+		if v, err := strconv.Atoi(f); err == nil {
+			t.ElementSet = v
+		}
+	}
+	return nil
+}
+
+func (t *TLE) parseLine2(line string) error {
+	if len(line) < 68 {
+		return &ParseError{2, fmt.Sprintf("too short (%d chars, need ≥68)", len(line))}
+	}
+	if line[0] != '2' {
+		return &ParseError{2, "does not start with '2'"}
+	}
+	if len(line) >= 69 {
+		want := Checksum(line[:68])
+		got := int(line[68] - '0')
+		if want != got {
+			return &ParseError{2, fmt.Sprintf("checksum %d, want %d", got, want)}
+		}
+	}
+	num, err := strconv.Atoi(fixedField(line, 3, 7))
+	if err != nil {
+		return &ParseError{2, "bad catalogue number: " + err.Error()}
+	}
+	if t.CatalogNumber != 0 && num != t.CatalogNumber {
+		return &ParseError{2, fmt.Sprintf("catalogue number %d does not match line 1 (%d)", num, t.CatalogNumber)}
+	}
+
+	parse := func(lo, hi int, what string, dst *float64) error {
+		f := fixedField(line, lo, hi)
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return &ParseError{2, "bad " + what + ": " + err.Error()}
+		}
+		*dst = v
+		return nil
+	}
+	if err := parse(9, 16, "inclination", &t.Inclination); err != nil {
+		return err
+	}
+	if err := parse(18, 25, "RAAN", &t.RAAN); err != nil {
+		return err
+	}
+	eccStr := fixedField(line, 27, 33)
+	eccV, err := strconv.ParseFloat("0."+eccStr, 64)
+	if err != nil {
+		return &ParseError{2, "bad eccentricity: " + err.Error()}
+	}
+	t.Eccentricity = eccV
+	if err := parse(35, 42, "argument of perigee", &t.ArgPerigee); err != nil {
+		return err
+	}
+	if err := parse(44, 51, "mean anomaly", &t.MeanAnomaly); err != nil {
+		return err
+	}
+	if err := parse(53, 63, "mean motion", &t.MeanMotion); err != nil {
+		return err
+	}
+	if t.MeanMotion <= 0 {
+		return &ParseError{2, fmt.Sprintf("non-positive mean motion %g", t.MeanMotion)}
+	}
+	if f := fixedField(line, 64, 68); f != "" {
+		if v, err := strconv.Atoi(f); err == nil {
+			t.RevNumber = v
+		}
+	}
+	return nil
+}
+
+// parseImpliedExp parses the TLE "implied exponent" format, e.g.
+// " 12345-4" = 0.12345e-4 and "-12345-4" = -0.12345e-4.
+func parseImpliedExp(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	sign := 1.0
+	if s[0] == '-' {
+		sign = -1
+		s = s[1:]
+	} else if s[0] == '+' {
+		s = s[1:]
+	}
+	// Exponent is the trailing signed digit.
+	if len(s) < 2 {
+		return 0, fmt.Errorf("implied-exponent field %q too short", s)
+	}
+	expPos := len(s) - 2
+	mant, err := strconv.ParseFloat("0."+s[:expPos], 64)
+	if err != nil {
+		return 0, err
+	}
+	exp, err := strconv.Atoi(s[expPos:])
+	if err != nil {
+		return 0, err
+	}
+	return sign * mant * math.Pow(10, float64(exp)), nil
+}
+
+// ParseCatalog reads a stream of TLEs in either two-line or three-line
+// (name + two lines) format, tolerating blank lines. It returns all sets
+// parsed and the first error encountered, if any (sets before the error are
+// still returned).
+func ParseCatalog(r io.Reader) ([]TLE, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 256), 1024)
+	var out []TLE
+	var name string
+	var line1 string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n ")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "1 "):
+			line1 = line
+		case strings.HasPrefix(line, "2 "):
+			if line1 == "" {
+				return out, fmt.Errorf("tle: catalogue line %d: line 2 without preceding line 1", lineNo)
+			}
+			t, err := Parse(line1, line)
+			if err != nil {
+				return out, fmt.Errorf("tle: catalogue line %d: %w", lineNo, err)
+			}
+			t.Name = name
+			out = append(out, t)
+			name, line1 = "", ""
+		default:
+			name = strings.TrimSpace(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if line1 != "" {
+		return out, fmt.Errorf("tle: catalogue ended with dangling line 1")
+	}
+	return out, nil
+}
+
+// Format renders the TLE as its two lines (with valid checksums). The name
+// line, if any, is not included; use WriteCatalog for full three-line sets.
+func (t TLE) Format() (line1, line2 string) {
+	yy := t.EpochYear % 100
+	l1 := fmt.Sprintf("1 %05d%c %-8s %02d%012.8f  .00000000  00000-0 %s 0 %4d",
+		t.CatalogNumber, printableClass(t.Classification), t.IntlDesignator, yy, t.EpochDay,
+		formatImpliedExp(t.BStar), t.ElementSet%10000)
+	l1 = pad69(l1)
+	l1 += strconv.Itoa(Checksum(l1))
+
+	l2 := fmt.Sprintf("2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
+		t.CatalogNumber, t.Inclination, t.RAAN, int(math.Round(t.Eccentricity*1e7)),
+		t.ArgPerigee, t.MeanAnomaly, t.MeanMotion, t.RevNumber%100000)
+	l2 = pad69(l2)
+	l2 += strconv.Itoa(Checksum(l2))
+	return l1, l2
+}
+
+func printableClass(c byte) byte {
+	if c == 0 {
+		return 'U'
+	}
+	return c
+}
+
+func pad69(s string) string {
+	for len(s) < 68 {
+		s += " "
+	}
+	return s[:68]
+}
+
+// formatImpliedExp renders v in the 8-character implied-exponent field.
+func formatImpliedExp(v float64) string {
+	if v == 0 {
+		return " 00000-0"
+	}
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	exp := int(math.Floor(math.Log10(v))) + 1
+	mant := int(math.Round(v * math.Pow(10, float64(5-exp))))
+	if mant >= 100000 { // rounding overflow, e.g. 0.999995
+		mant /= 10
+		exp++
+	}
+	return fmt.Sprintf("%s%05d%+d", sign, mant, exp)
+}
+
+// WriteCatalog writes the sets as a three-line-per-object catalogue
+// (name, line 1, line 2).
+func WriteCatalog(w io.Writer, sets []TLE) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range sets {
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("OBJECT %d", t.CatalogNumber)
+		}
+		l1, l2 := t.Format()
+		if _, err := fmt.Fprintf(bw, "%s\n%s\n%s\n", name, l1, l2); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

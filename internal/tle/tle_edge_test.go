@@ -1,0 +1,144 @@
+package tle
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mathx"
+)
+
+func TestParseErrorMessage(t *testing.T) {
+	err := &ParseError{Line: 2, Msg: "bad field"}
+	if got := err.Error(); !strings.Contains(got, "line 2") || !strings.Contains(got, "bad field") {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestFixedFieldBeyondLine(t *testing.T) {
+	if got := fixedField("short", 10, 20); got != "" {
+		t.Errorf("out-of-range field = %q", got)
+	}
+	if got := fixedField("abcdef", 3, 99); got != "cdef" {
+		t.Errorf("clamped field = %q", got)
+	}
+}
+
+func TestParseLine2FieldErrors(t *testing.T) {
+	// Corrupt individual line-2 fields; every branch must report an error
+	// (checksums are recomputed so only the target field is at fault).
+	base := issLine2
+	corrupt := func(lo, hi int, repl string) string {
+		line := base[:lo-1] + repl + base[lo-1+len(repl):]
+		_ = hi
+		line = line[:68]
+		return line + string(rune('0'+Checksum(line)))
+	}
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"inclination", corrupt(9, 16, "xx.xxxx ")},
+		{"raan", corrupt(18, 25, "yyy.yyyy")},
+		{"eccentricity", corrupt(27, 33, "eeeeeee")},
+		{"argp", corrupt(35, 42, "zzz.zzzz")},
+		{"mean anomaly", corrupt(44, 51, "aaa.aaaa")},
+		{"mean motion", corrupt(53, 63, "bb.bbbbbbbb")},
+	}
+	for _, c := range cases {
+		var tle TLE
+		if err := tle.parseLine2(c.line); err == nil {
+			t.Errorf("%s corruption accepted: %q", c.name, c.line)
+		}
+	}
+}
+
+func TestParseLine2NonPositiveMeanMotion(t *testing.T) {
+	line := issLine2[:52] + " 0.00000000" + issLine2[63:68]
+	line = line[:68] + string(rune('0'+Checksum(line[:68])))
+	var tle TLE
+	if err := tle.parseLine2(line); err == nil {
+		t.Error("zero mean motion accepted")
+	}
+}
+
+func TestParseImpliedExpMalformed(t *testing.T) {
+	for _, in := range []string{"x", "-", "+", "1", "abcde-x", "1234-"} {
+		if _, err := parseImpliedExp(in); err == nil && in != "" {
+			// "1" is too short; all the listed inputs must error.
+			t.Errorf("parseImpliedExp(%q) accepted", in)
+		}
+	}
+}
+
+func TestPrintableClassDefaults(t *testing.T) {
+	if printableClass(0) != 'U' {
+		t.Error("zero classification must render as U")
+	}
+	if printableClass('C') != 'C' {
+		t.Error("explicit classification altered")
+	}
+}
+
+func TestPad69Truncates(t *testing.T) {
+	long := strings.Repeat("x", 80)
+	if got := pad69(long); len(got) != 68 {
+		t.Errorf("pad69 length = %d", len(got))
+	}
+	if got := pad69("ab"); len(got) != 68 || !strings.HasPrefix(got, "ab ") {
+		t.Errorf("pad69 short = %q", got)
+	}
+}
+
+func TestEpochTime(t *testing.T) {
+	tl := TLE{EpochYear: 2008, EpochDay: 264.51782528}
+	got := tl.EpochTime()
+	// Day 264 of 2008 (leap year) is September 20; fraction ≈ 12:25:40 UTC.
+	if got.Year() != 2008 || got.Month() != 9 || got.Day() != 20 {
+		t.Errorf("EpochTime date = %v", got)
+	}
+	if got.Hour() != 12 || got.Minute() != 25 {
+		t.Errorf("EpochTime time = %v", got)
+	}
+	// Day 1.0 is exactly January 1 midnight.
+	jan := TLE{EpochYear: 2021, EpochDay: 1.0}.EpochTime()
+	want := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	if !jan.Equal(want) {
+		t.Errorf("day 1.0 = %v, want %v", jan, want)
+	}
+}
+
+func TestElementsAtAdvancesMeanAnomaly(t *testing.T) {
+	tl, err := Parse(issLine1, issLine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elAtOwn := tl.ElementsAt(tl.EpochTime())
+	if mathx.AngleDiff(elAtOwn.MeanAnomaly, tl.Elements().MeanAnomaly) > 1e-9 {
+		t.Error("elements at own epoch differ from raw elements")
+	}
+	// One orbital period later the mean anomaly must wrap around to the
+	// same value.
+	period := time.Duration(elAtOwn.Period() * float64(time.Second))
+	elLater := tl.ElementsAt(tl.EpochTime().Add(period))
+	if mathx.AngleDiff(elLater.MeanAnomaly, elAtOwn.MeanAnomaly) > 1e-6 {
+		t.Errorf("mean anomaly after one period = %v, want %v", elLater.MeanAnomaly, elAtOwn.MeanAnomaly)
+	}
+	// Half a period later it must differ by π.
+	elHalf := tl.ElementsAt(tl.EpochTime().Add(period / 2))
+	if d := mathx.AngleDiff(elHalf.MeanAnomaly, elAtOwn.MeanAnomaly+math.Pi); d > 1e-6 {
+		t.Errorf("half-period anomaly off by %v", d)
+	}
+}
+
+func TestParseCatalogScannerTolerantOfCRLF(t *testing.T) {
+	src := issName + "\r\n" + issLine1 + "\r\n" + issLine2 + "\r\n"
+	sets, err := ParseCatalog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || sets[0].Name != issName {
+		t.Errorf("CRLF catalogue parsed as %+v", sets)
+	}
+}

@@ -1,0 +1,297 @@
+package tle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+)
+
+// The canonical ISS example TLE (checksums valid).
+const (
+	issName  = "ISS (ZARYA)"
+	issLine1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	issLine2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+)
+
+func TestParseISS(t *testing.T) {
+	tl, err := Parse(issLine1, issLine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.CatalogNumber != 25544 {
+		t.Errorf("CatalogNumber = %d", tl.CatalogNumber)
+	}
+	if tl.Classification != 'U' {
+		t.Errorf("Classification = %c", tl.Classification)
+	}
+	if tl.IntlDesignator != "98067A" {
+		t.Errorf("IntlDesignator = %q", tl.IntlDesignator)
+	}
+	if tl.EpochYear != 2008 {
+		t.Errorf("EpochYear = %d", tl.EpochYear)
+	}
+	if math.Abs(tl.EpochDay-264.51782528) > 1e-8 {
+		t.Errorf("EpochDay = %v", tl.EpochDay)
+	}
+	if math.Abs(tl.MeanMotionDot-(-0.00002182)) > 1e-10 {
+		t.Errorf("MeanMotionDot = %v", tl.MeanMotionDot)
+	}
+	if math.Abs(tl.BStar-(-0.11606e-4)) > 1e-12 {
+		t.Errorf("BStar = %v", tl.BStar)
+	}
+	if math.Abs(tl.Inclination-51.6416) > 1e-9 {
+		t.Errorf("Inclination = %v", tl.Inclination)
+	}
+	if math.Abs(tl.RAAN-247.4627) > 1e-9 {
+		t.Errorf("RAAN = %v", tl.RAAN)
+	}
+	if math.Abs(tl.Eccentricity-0.0006703) > 1e-12 {
+		t.Errorf("Eccentricity = %v", tl.Eccentricity)
+	}
+	if math.Abs(tl.ArgPerigee-130.5360) > 1e-9 {
+		t.Errorf("ArgPerigee = %v", tl.ArgPerigee)
+	}
+	if math.Abs(tl.MeanAnomaly-325.0288) > 1e-9 {
+		t.Errorf("MeanAnomaly = %v", tl.MeanAnomaly)
+	}
+	if math.Abs(tl.MeanMotion-15.72125391) > 1e-9 {
+		t.Errorf("MeanMotion = %v", tl.MeanMotion)
+	}
+	if tl.RevNumber != 56353 {
+		t.Errorf("RevNumber = %d", tl.RevNumber)
+	}
+}
+
+func TestElementsFromISS(t *testing.T) {
+	tl, err := Parse(issLine1, issLine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := tl.Elements()
+	// ISS semi-major axis ≈ 6725 km.
+	if el.SemiMajorAxis < 6700 || el.SemiMajorAxis > 6760 {
+		t.Errorf("SemiMajorAxis = %v, want ≈6725", el.SemiMajorAxis)
+	}
+	if math.Abs(el.Inclination-51.6416*math.Pi/180) > 1e-9 {
+		t.Errorf("Inclination = %v rad", el.Inclination)
+	}
+	// Derived mean motion must round-trip.
+	if math.Abs(el.MeanMotion()*86400/mathx.TwoPi-tl.MeanMotion) > 1e-9 {
+		t.Error("mean motion did not round-trip through semi-major axis")
+	}
+	if err := el.Validate(); err != nil {
+		t.Errorf("ISS elements invalid: %v", err)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	if got := Checksum(issLine1[:68]); got != 7 {
+		t.Errorf("line1 checksum = %d, want 7", got)
+	}
+	if got := Checksum(issLine2[:68]); got != 7 {
+		t.Errorf("line2 checksum = %d, want 7", got)
+	}
+	if got := Checksum("---"); got != 3 {
+		t.Errorf("minus signs checksum = %d, want 3", got)
+	}
+	if got := Checksum("abc .+"); got != 0 {
+		t.Errorf("letters checksum = %d, want 0", got)
+	}
+}
+
+func TestParseRejectsBadChecksum(t *testing.T) {
+	bad := issLine1[:68] + "0" // correct is 7
+	if _, err := Parse(bad, issLine2); err == nil {
+		t.Error("bad line-1 checksum accepted")
+	}
+	bad2 := issLine2[:68] + "3"
+	if _, err := Parse(issLine1, bad2); err == nil {
+		t.Error("bad line-2 checksum accepted")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct{ l1, l2, name string }{
+		{"", issLine2, "empty line 1"},
+		{issLine1, "", "empty line 2"},
+		{issLine2, issLine2, "line 1 starting with 2"},
+		{issLine1, issLine1, "line 2 starting with 1"},
+		{issLine1, "2 99999  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563530", "catalogue number mismatch"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.l1, c.l2); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestEpochYearWindow(t *testing.T) {
+	tl := TLE{}
+	l1 := "1 00001U 57001A   57001.00000000  .00000000  00000-0  00000-0 0    1"
+	l1 = l1[:68] + string(rune('0'+Checksum(l1[:68])))
+	if err := tl.parseLine1(l1); err != nil {
+		t.Fatal(err)
+	}
+	if tl.EpochYear != 1957 {
+		t.Errorf("EpochYear = %d, want 1957", tl.EpochYear)
+	}
+	l1b := strings.Replace(l1, "57001.", "21001.", 1)[:68]
+	l1b = l1b + string(rune('0'+Checksum(l1b)))
+	var tl2 TLE
+	if err := tl2.parseLine1(l1b); err != nil {
+		t.Fatal(err)
+	}
+	if tl2.EpochYear != 2021 {
+		t.Errorf("EpochYear = %d, want 2021", tl2.EpochYear)
+	}
+}
+
+func TestParseImpliedExp(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{" 12345-4", 0.12345e-4},
+		{"-11606-4", -0.11606e-4},
+		{" 00000-0", 0},
+		{"", 0},
+		{" 10000-3", 1e-4},
+		{" 50000+1", 5},
+	}
+	for _, c := range cases {
+		got, err := parseImpliedExp(c.in)
+		if err != nil {
+			t.Errorf("parseImpliedExp(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("parseImpliedExp(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRoundtrip(t *testing.T) {
+	el := orbit.Elements{
+		SemiMajorAxis: 7000,
+		Eccentricity:  0.0025,
+		Inclination:   0.9,
+		RAAN:          1.2,
+		ArgPerigee:    0.4,
+		MeanAnomaly:   2.0,
+	}
+	src := FromElements(42, "TESTSAT 1", el)
+	l1, l2 := src.Format()
+	if len(l1) != 69 || len(l2) != 69 {
+		t.Fatalf("formatted lines have lengths %d, %d; want 69", len(l1), len(l2))
+	}
+	back, err := Parse(l1, l2)
+	if err != nil {
+		t.Fatalf("formatted TLE failed to parse: %v\n%s\n%s", err, l1, l2)
+	}
+	gotEl := back.Elements()
+	if math.Abs(gotEl.SemiMajorAxis-el.SemiMajorAxis) > 0.01 {
+		t.Errorf("a = %v, want %v", gotEl.SemiMajorAxis, el.SemiMajorAxis)
+	}
+	if math.Abs(gotEl.Eccentricity-el.Eccentricity) > 1e-7 {
+		t.Errorf("e = %v, want %v", gotEl.Eccentricity, el.Eccentricity)
+	}
+	for _, pair := range [][2]float64{
+		{gotEl.Inclination, el.Inclination},
+		{gotEl.RAAN, el.RAAN},
+		{gotEl.ArgPerigee, el.ArgPerigee},
+		{gotEl.MeanAnomaly, el.MeanAnomaly},
+	} {
+		if mathx.AngleDiff(pair[0], pair[1]) > 1e-4 {
+			t.Errorf("angle %v, want %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestFormatImpliedExpRoundtrip(t *testing.T) {
+	for _, v := range []float64{0, 1e-4, -3.2e-5, 0.99999e-3, 5} {
+		s := formatImpliedExp(v)
+		if len(s) != 8 {
+			t.Errorf("formatImpliedExp(%v) = %q, want 8 chars", v, s)
+		}
+		got, err := parseImpliedExp(s)
+		if err != nil {
+			t.Errorf("parse(%q): %v", s, err)
+			continue
+		}
+		if math.Abs(got-v) > 1e-5*math.Max(1, math.Abs(v)) {
+			t.Errorf("roundtrip %v → %q → %v", v, s, got)
+		}
+	}
+}
+
+func TestParseCatalogThreeLine(t *testing.T) {
+	src := issName + "\n" + issLine1 + "\n" + issLine2 + "\n"
+	sets, err := ParseCatalog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("parsed %d sets, want 1", len(sets))
+	}
+	if sets[0].Name != issName {
+		t.Errorf("Name = %q", sets[0].Name)
+	}
+}
+
+func TestParseCatalogTwoLineAndBlanks(t *testing.T) {
+	src := "\n" + issLine1 + "\n" + issLine2 + "\n\n" + issLine1 + "\n" + issLine2 + "\n"
+	sets, err := ParseCatalog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("parsed %d sets, want 2", len(sets))
+	}
+	if sets[0].Name != "" {
+		t.Errorf("two-line set acquired name %q", sets[0].Name)
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	if _, err := ParseCatalog(strings.NewReader(issLine2 + "\n")); err == nil {
+		t.Error("line 2 without line 1 accepted")
+	}
+	if _, err := ParseCatalog(strings.NewReader(issLine1 + "\n")); err == nil {
+		t.Error("dangling line 1 accepted")
+	}
+}
+
+func TestWriteCatalogRoundtrip(t *testing.T) {
+	els := []orbit.Elements{
+		{SemiMajorAxis: 7000, Eccentricity: 0.001, Inclination: 1.0, RAAN: 0.5, ArgPerigee: 1.5, MeanAnomaly: 3.0},
+		{SemiMajorAxis: 26560, Eccentricity: 0.01, Inclination: 0.96, RAAN: 2.0, ArgPerigee: 4.0, MeanAnomaly: 0.7},
+		{SemiMajorAxis: 42164, Eccentricity: 0.0002, Inclination: 0.01, RAAN: 0.0, ArgPerigee: 0.0, MeanAnomaly: 5.5},
+	}
+	var sets []TLE
+	for i, el := range els {
+		sets = append(sets, FromElements(i+1, "", el))
+	}
+	var sb strings.Builder
+	if err := WriteCatalog(&sb, sets); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCatalog(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("written catalogue failed to parse: %v\n%s", err, sb.String())
+	}
+	if len(back) != len(sets) {
+		t.Fatalf("parsed %d sets, want %d", len(back), len(sets))
+	}
+	for i := range back {
+		if back[i].Name == "" {
+			t.Errorf("set %d: default name not emitted", i)
+		}
+		gotA := back[i].Elements().SemiMajorAxis
+		if math.Abs(gotA-els[i].SemiMajorAxis) > 0.05 {
+			t.Errorf("set %d: a = %v, want %v", i, gotA, els[i].SemiMajorAxis)
+		}
+	}
+}

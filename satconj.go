@@ -1,0 +1,370 @@
+// Package satconj is the public API of the conjunction-screening library —
+// a Go reproduction of "Satellite Collision Detection using Spatial Data
+// Structures" (Hellwig et al., IPPS 2023).
+//
+// The library screens large satellite populations (thousands to millions of
+// objects) for close approaches below a distance threshold over a time
+// window, using a uniform spatial grid backed by non-blocking atomic hash
+// maps. Four screening algorithms are provided:
+//
+//   - VariantGrid — the paper's purely grid-based method: fine time
+//     sampling, small cells, every grid candidate refined directly.
+//   - VariantHybrid — the paper's hybrid method: coarse sampling, large
+//     cells, classical orbital filters between the grid and the refinement.
+//     Faster when memory allows; the default.
+//   - VariantLegacy — the classical all-on-all filter-chain screener, the
+//     O(n²) baseline the paper compares against.
+//   - VariantSieve — the "smart sieve" time-stepped all-on-all baseline
+//     with Cartesian rejection cascades (§II related work).
+//
+// # Quick start
+//
+//	sats, _ := satconj.GeneratePopulation(satconj.PopulationConfig{N: 10000, Seed: 1})
+//	res, err := satconj.Screen(sats, satconj.Options{
+//		ThresholdKm:     2,
+//		DurationSeconds: 3600,
+//	})
+//	for _, c := range res.Events(10) {
+//		fmt.Printf("objects %d/%d approach to %.3f km at t=%.1fs\n", c.A, c.B, c.PCA, c.TCA)
+//	}
+//
+// Populations come from the synthetic generator (a bivariate KDE matching
+// the 2021 active-satellite catalogue), from TLE files via LoadTLE, or from
+// hand-built Elements via NewSatellite.
+package satconj
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ccsds"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/gpusim"
+	"repro/internal/legacy"
+	"repro/internal/orbit"
+	"repro/internal/population"
+	"repro/internal/propagation"
+	"repro/internal/risk"
+	"repro/internal/sieve"
+	"repro/internal/tle"
+)
+
+// Re-exported element and object types.
+type (
+	// Elements are classical Keplerian orbital elements (km, rad).
+	Elements = orbit.Elements
+	// Satellite is one screenable object with its propagation cache.
+	Satellite = propagation.Satellite
+	// Conjunction is one detected close approach.
+	Conjunction = core.Conjunction
+	// Result is a screening outcome with phase statistics.
+	Result = core.Result
+	// PhaseStats is the per-phase timing/counter breakdown.
+	PhaseStats = core.PhaseStats
+	// Variant names a screening algorithm.
+	Variant = core.Variant
+	// Device is a simulated SIMT accelerator (see package gpusim).
+	Device = gpusim.Device
+)
+
+// Screening variants.
+const (
+	VariantGrid   = core.VariantGrid
+	VariantHybrid = core.VariantHybrid
+	// VariantLegacy is the sequential all-on-all filter-chain baseline.
+	VariantLegacy Variant = "legacy"
+	// VariantSieve is the "smart sieve" baseline (Rodríguez et al. 2002):
+	// time-stepped all-on-all with cheap Cartesian rejection cascades.
+	VariantSieve Variant = "sieve"
+)
+
+// Options configures Screen. Zero values select the paper's defaults
+// (2 km threshold, hybrid variant, 1 s/9 s sampling, all CPUs).
+type Options struct {
+	// Variant selects the algorithm; default VariantHybrid.
+	Variant Variant
+	// ThresholdKm is the screening threshold d (default 2 km).
+	ThresholdKm float64
+	// DurationSeconds is the screened time span (required).
+	DurationSeconds float64
+	// SecondsPerSample overrides the variant's sampling step.
+	SecondsPerSample float64
+	// Workers bounds CPU parallelism; ≤0 uses all CPUs.
+	Workers int
+	// UseJ2 propagates with the secular J2 perturbation instead of pure
+	// two-body motion.
+	UseJ2 bool
+	// Device, when non-nil, runs the pipeline on the simulated GPU
+	// backend instead of the CPU worker pool (grid/hybrid only).
+	Device *Device
+	// PairSlotHint presizes the conjunction hash set (0 = automatic).
+	PairSlotHint int
+	// ParallelSteps processes this many sampling steps concurrently, each
+	// with its own grid (the paper's parallelisation factor p; grid and
+	// hybrid variants only). ≤1 runs steps sequentially.
+	ParallelSteps int
+	// Propagator overrides the force model entirely (e.g. a
+	// NumericPropagator); it takes precedence over UseJ2.
+	Propagator Propagator
+	// Uncertainty screens each pair against d + u(a) + u(b) instead of
+	// the uniform threshold (grid/hybrid only); see UniformUncertainty
+	// and PerObjectUncertainty.
+	Uncertainty UncertaintyMap
+}
+
+// UncertaintyMap supplies per-object position uncertainty radii (km).
+type UncertaintyMap = core.UncertaintyMap
+
+// UniformUncertainty assigns every object the same uncertainty radius.
+type UniformUncertainty = core.UniformUncertainty
+
+// PerObjectUncertainty maps object IDs (as indices) to uncertainty radii.
+type PerObjectUncertainty = core.SliceUncertainty
+
+// Propagator advances satellites to a point in time; see TwoBodyPropagator,
+// J2Propagator and NumericPropagator.
+type Propagator = propagation.Propagator
+
+// TwoBodyPropagator returns the unperturbed Kepler propagator (the default).
+func TwoBodyPropagator() Propagator { return propagation.TwoBody{} }
+
+// J2Propagator returns the secular-J2 propagator.
+func J2Propagator() Propagator { return propagation.J2{} }
+
+// Force is one acceleration model term for NumericPropagator.
+type Force = propagation.Force
+
+// Standard force-model terms for NumericPropagator.
+func ForcePointMass() Force { return propagation.PointMass{} }
+
+// ForceJ2 returns the full (non-averaged) J2 oblateness acceleration.
+func ForceJ2() Force { return propagation.J2Force{} }
+
+// ForceDrag returns a cannonball drag term with the given ballistic
+// parameter Cd·A/m (m²/kg) over an exponential atmosphere.
+func ForceDrag(cdAOverM float64) Force { return propagation.Drag{CdAOverM: cdAOverM} }
+
+// NumericPropagator returns a fixed-step RK4 propagator over the given
+// force model — the paper's "other propagators" extension. Substantially
+// slower than the analytic propagators; intended for validation and small
+// high-fidelity screenings.
+func NumericPropagator(stepSeconds float64, forces ...Force) Propagator {
+	return propagation.Numeric{Forces: forces, StepSeconds: stepSeconds}
+}
+
+// NewSatellite wraps a validated Elements value into a Satellite.
+func NewSatellite(id int32, el Elements) (Satellite, error) {
+	return propagation.NewSatellite(id, el)
+}
+
+// Screen runs the selected screening variant over the population.
+func Screen(sats []Satellite, o Options) (*Result, error) {
+	var prop propagation.Propagator = propagation.TwoBody{}
+	if o.UseJ2 {
+		prop = propagation.J2{}
+	}
+	if o.Propagator != nil {
+		prop = o.Propagator
+	}
+	switch o.Variant {
+	case VariantLegacy:
+		if o.Device != nil {
+			return nil, fmt.Errorf("satconj: the legacy variant has no device backend")
+		}
+		res, err := legacy.New(legacy.Config{
+			ThresholdKm:     o.ThresholdKm,
+			DurationSeconds: o.DurationSeconds,
+			Propagator:      prop,
+			Workers:         o.Workers, // 0 keeps the paper's single-threaded baseline
+		}).Screen(sats)
+		if err != nil {
+			return nil, err
+		}
+		return convertLegacy(res), nil
+	case VariantSieve:
+		if o.Device != nil {
+			return nil, fmt.Errorf("satconj: the sieve variant has no device backend")
+		}
+		res, err := sieve.New(sieve.Config{
+			ThresholdKm:     o.ThresholdKm,
+			DurationSeconds: o.DurationSeconds,
+			StepSeconds:     o.SecondsPerSample,
+			Propagator:      prop,
+		}).Screen(sats)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Variant:      VariantSieve,
+			Backend:      "cpu-sequential",
+			Conjunctions: res.Conjunctions,
+			Stats: core.PhaseStats{
+				Detection:   res.Stats.Elapsed,
+				Refinements: int(res.Stats.Refinements),
+			},
+		}, nil
+	case VariantGrid:
+		cfg := o.coreConfig(prop)
+		return core.NewGrid(cfg).Screen(sats)
+	case VariantHybrid, "":
+		cfg := o.coreConfig(prop)
+		return core.NewHybrid(cfg).Screen(sats)
+	default:
+		return nil, fmt.Errorf("satconj: unknown variant %q", o.Variant)
+	}
+}
+
+func (o Options) coreConfig(prop propagation.Propagator) core.Config {
+	cfg := core.Config{
+		ThresholdKm:      o.ThresholdKm,
+		SecondsPerSample: o.SecondsPerSample,
+		DurationSeconds:  o.DurationSeconds,
+		Workers:          o.Workers,
+		Propagator:       prop,
+		PairSlotHint:     o.PairSlotHint,
+		ParallelSteps:    o.ParallelSteps,
+		Uncertainty:      o.Uncertainty,
+	}
+	if o.Device != nil {
+		cfg.Executor = o.Device
+	}
+	return cfg
+}
+
+// convertLegacy reshapes the legacy screener's result into the common form.
+func convertLegacy(r *legacy.Result) *Result {
+	return &Result{
+		Variant:      VariantLegacy,
+		Backend:      "cpu-sequential",
+		Conjunctions: r.Conjunctions,
+		Stats: core.PhaseStats{
+			Detection:   r.Stats.Elapsed,
+			Refinements: int(r.Stats.Refinements),
+			FilterStats: r.Stats.FilterStats,
+		},
+	}
+}
+
+// PopulationConfig configures the synthetic population generator (§V-A).
+type PopulationConfig = population.Config
+
+// GeneratePopulation draws a synthetic population: (a, e) from the
+// catalogue-seeded bivariate KDE, remaining elements uniform per Table II.
+func GeneratePopulation(cfg PopulationConfig) ([]Satellite, error) {
+	return population.Generate(cfg)
+}
+
+// WalkerConfig configures a Walker-delta constellation shell.
+type WalkerConfig = population.WalkerConfig
+
+// GenerateWalker builds a mega-constellation shell.
+func GenerateWalker(cfg WalkerConfig) ([]Satellite, error) {
+	return population.Walker(cfg)
+}
+
+// FragmentationConfig configures a breakup debris cloud.
+type FragmentationConfig = population.FragmentationConfig
+
+// GenerateFragmentation spawns a debris cloud from a breakup event.
+func GenerateFragmentation(cfg FragmentationConfig) ([]Satellite, error) {
+	return population.Fragmentation(cfg)
+}
+
+// LoadTLE reads a TLE catalogue (two- or three-line sets) and converts it
+// into satellites with IDs assigned in file order.
+func LoadTLE(r io.Reader) ([]Satellite, error) {
+	sets, err := tle.ParseCatalog(r)
+	if err != nil {
+		return nil, err
+	}
+	sats := make([]Satellite, 0, len(sets))
+	for i, set := range sets {
+		s, err := propagation.NewSatellite(int32(i), set.Elements())
+		if err != nil {
+			return nil, fmt.Errorf("satconj: TLE %d (%s): %w", i, set.Name, err)
+		}
+		sats = append(sats, s)
+	}
+	return sats, nil
+}
+
+// LoadTLEAt reads a TLE catalogue like LoadTLE but aligns every set to the
+// given common epoch, advancing each object's mean anomaly across the gap
+// between its own TLE epoch and the target (two-body motion). Screening
+// t = 0 then corresponds to `epoch` for the whole population.
+func LoadTLEAt(r io.Reader, epoch time.Time) ([]Satellite, error) {
+	sets, err := tle.ParseCatalog(r)
+	if err != nil {
+		return nil, err
+	}
+	sats := make([]Satellite, 0, len(sets))
+	for i, set := range sets {
+		s, err := propagation.NewSatellite(int32(i), set.ElementsAt(epoch))
+		if err != nil {
+			return nil, fmt.Errorf("satconj: TLE %d (%s): %w", i, set.Name, err)
+		}
+		sats = append(sats, s)
+	}
+	return sats, nil
+}
+
+// SaveTLE writes satellites as a three-line TLE catalogue.
+func SaveTLE(w io.Writer, sats []Satellite) error {
+	sets := make([]tle.TLE, len(sats))
+	for i, s := range sats {
+		sets[i] = tle.FromElements(int(s.ID)+1, "", s.Elements)
+	}
+	return tle.WriteCatalog(w, sets)
+}
+
+// SimulatedRTX3090 returns the paper's benchmark GPU as a simulated device.
+func SimulatedRTX3090() *Device { return gpusim.RTX3090() }
+
+// WriteCDMs emits one CCSDS Conjunction Data Message per conjunction — the
+// hand-off artifact to the detailed assessment process downstream of the
+// screening (§III). epoch anchors the screening's t = 0; opts must be the
+// options the screening ran with so the states at TCA are consistent.
+func WriteCDMs(w io.Writer, conjs []Conjunction, sats []Satellite, opts Options, epoch time.Time, originator string) error {
+	byID := make(map[int32]*Satellite, len(sats))
+	for i := range sats {
+		byID[sats[i].ID] = &sats[i]
+	}
+	var prop propagation.Propagator = propagation.TwoBody{}
+	if opts.UseJ2 {
+		prop = propagation.J2{}
+	}
+	if opts.Propagator != nil {
+		prop = opts.Propagator
+	}
+	return ccsds.WriteAll(w, conjs, func(id int32) *propagation.Satellite { return byID[id] },
+		prop, epoch, originator)
+}
+
+// CollisionRateConfig configures the Cube-method statistical estimator.
+type CollisionRateConfig = cube.Config
+
+// CollisionRateResult is the Cube-method output.
+type CollisionRateResult = cube.Result
+
+// EstimateCollisionRate runs the Cube method (Liou et al. 2003) — the
+// volumetric statistical baseline of §II. It estimates long-term pairwise
+// collision rates; unlike Screen it cannot produce deterministic
+// conjunction events, which is exactly the limitation that motivates the
+// deterministic grid pipeline.
+func EstimateCollisionRate(sats []Satellite, cfg CollisionRateConfig) (*CollisionRateResult, error) {
+	return cube.Estimate(sats, cfg)
+}
+
+// RiskAssessment couples a conjunction's miss distance with its collision
+// probability and decision bucket.
+type RiskAssessment = risk.Assessment
+
+// CollisionProbability computes the short-encounter collision probability
+// (Foster/Akella model with circularly symmetric uncertainty) for a
+// screened conjunction: the downstream assessment number operators act on.
+// hardBodyKm is the combined hard-body radius of the two objects.
+func CollisionProbability(c Conjunction, sigmaAKm, sigmaBKm, hardBodyKm float64) (RiskAssessment, error) {
+	return risk.Assess(c.PCA, sigmaAKm, sigmaBKm, hardBodyKm)
+}
