@@ -1,0 +1,33 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test lint race fuzz bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## lint: go vet plus the repo's own analyzer suite (cmd/vetconj).
+## See DESIGN.md §7 for what each analyzer enforces and how to opt out.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/vetconj ./...
+
+## race: race-detector pass over the lock-free hot paths and the
+## concurrent grid/batch workers that drive them.
+race:
+	$(GO) test -race ./internal/lockfree/... ./internal/core/...
+
+## fuzz: short fuzz session for the MurmurHash3 invariants (determinism,
+## streaming/one-shot agreement, finaliser avalanche).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzMurmur3 -fuzztime=20s ./internal/hash
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

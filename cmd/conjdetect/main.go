@@ -105,7 +105,10 @@ func main() {
 			}
 			tbl.AddRow(row...)
 		}
-		_ = tbl.WriteASCII(os.Stdout)
+		if err := tbl.WriteASCII(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "conjdetect:", err)
+			os.Exit(1)
+		}
 		if limit < len(conjs) {
 			fmt.Printf("… and %d more\n", len(conjs)-limit)
 		}
@@ -136,16 +139,21 @@ func main() {
 	}
 }
 
-func writeCDMs(path string, conjs []satconj.Conjunction, sats []satconj.Satellite, opts satconj.Options) error {
-	var w *os.File
-	if path == "-" {
-		w = os.Stdout
-	} else {
-		f, err := os.Create(path)
+func writeCDMs(path string, conjs []satconj.Conjunction, sats []satconj.Satellite, opts satconj.Options) (err error) {
+	w := os.Stdout
+	if path != "-" {
+		var f *os.File
+		f, err = os.Create(path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// A failed Close on a freshly written file means truncated output;
+		// surface it instead of deferring silently.
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		w = f
 	}
 	return satconj.WriteCDMs(w, conjs, sats, opts, time.Now().UTC(), "SATCONJ")

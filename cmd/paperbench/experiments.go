@@ -291,8 +291,12 @@ func writeSVG(ctx *benchCtx, name string, fig *report.Figure, logY bool) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := fig.WriteSVG(f, report.SVGOptions{LogY: logY}); err != nil {
+		f.Close() // the write error is the one to report
+		return err
+	}
+	// A failed Close means a truncated figure on disk; report it.
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("(SVG written to %s)\n", path)

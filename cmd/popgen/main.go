@@ -45,18 +45,26 @@ func main() {
 	}
 
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "popgen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := write(w, sats, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "popgen:", err)
 		os.Exit(1)
+	}
+	// Close failures are write failures: a truncated catalogue silently
+	// changes every downstream experiment, so exit non-zero.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "popgen:", err)
+			os.Exit(1)
+		}
 	}
 }
 

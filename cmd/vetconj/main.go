@@ -1,0 +1,129 @@
+// Command vetconj is the repository's multichecker: it runs the custom
+// static analyzers of internal/analysis over the packages matching the
+// given patterns and exits non-zero when any finding survives.
+//
+// Usage:
+//
+//	vetconj ./...                     # the whole module
+//	vetconj -only atomicmix,errfull ./internal/lockfree/...
+//	vetconj -tests ./internal/core    # include in-package _test.go files
+//	vetconj -list                     # describe the registered analyzers
+//
+// vetconj is a standalone driver rather than a `go vet -vettool` plugin on
+// purpose: the vettool protocol needs golang.org/x/tools/go/analysis/
+// unitchecker, and this repository builds in hermetic environments with no
+// module downloads. The driver loads and type-checks packages with the
+// standard library only (see internal/analysis), so `go run ./cmd/vetconj`
+// works anywhere the repository compiles.
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/errfull"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/unitcheck"
+)
+
+// suite is every registered analyzer, in reporting order.
+var suite = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	errfull.Analyzer,
+	floateq.Analyzer,
+	unitcheck.Analyzer,
+}
+
+func main() {
+	var (
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		tests = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		list  = flag.Bool("list", false, "list the registered analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetconj:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns, analysis.LoadOptions{Tests: *tests})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetconj:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "vetconj: no packages matched", strings.Join(patterns, " "))
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetconj:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vetconj: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite by the -only flag.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, names())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// names lists the registered analyzer names.
+func names() string {
+	var ns []string
+	for _, a := range suite {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against "// want" expectations embedded in the fixture —
+// a standard-library-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkg>/ and are ordinary Go packages
+// that may import the standard library. A line expecting a diagnostic
+// carries a comment of the form
+//
+//	x := a == b // want "floating-point"
+//
+// where the quoted string is a regular expression matched against the
+// diagnostic message. Several expectations may appear in one comment
+// ("// want \"re1\" \"re2\""). Every expectation must be matched by exactly
+// one diagnostic on its line and every diagnostic must match an
+// expectation; anything else fails the test.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the quoted regular expressions of a want comment.
+var (
+	wantCommentRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+	wantArgRE     = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// expectation is one expected diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at <testdata>/src/<pkg>, applies the
+// analyzer, and reports any mismatch between diagnostics and expectations
+// as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	loaded, err := analysis.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	expects := collectExpectations(t, loaded)
+	diags, err := analysis.Run([]*analysis.Package{loaded}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := loaded.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations parses the fixture's want comments.
+func collectExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantCommentRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				for _, arg := range args {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, arg[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line whose
+// pattern matches the message, reporting whether one was found.
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != pos.Filename || e.line != pos.Line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

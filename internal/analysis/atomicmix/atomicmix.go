@@ -1,0 +1,135 @@
+// Package atomicmix flags struct fields that are accessed both through
+// sync/atomic operations and with plain loads or stores. In the lock-free
+// structures of internal/lockfree a single plain access to a CAS-managed
+// field (an entry's next-link, a cell's head index) silently corrupts the
+// hash map under concurrent insertion — exactly the §IV-A failure mode the
+// paper's design rules out. Mixing disciplines is always a bug: either every
+// access goes through sync/atomic (or the atomic.Int32/Uint64 wrapper
+// types), or none does.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both via sync/atomic and with plain " +
+		"loads/stores; a field is either always atomic or never atomic",
+	Run: run,
+}
+
+// atomicFuncs are the sync/atomic operations whose first argument addresses
+// the word being operated on.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every field reached as atomic.Op(&x.f, ...) and remember
+	// both the field object and the selector nodes already blessed as atomic.
+	atomicFields := make(map[*types.Var][]token.Pos)
+	blessed := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicCall(pass, call) {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if field := fieldOf(pass, sel); field != nil {
+				atomicFields[field] = append(atomicFields[field], sel.Pos())
+				blessed[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector reaching one of those fields is a plain
+	// (non-atomic) memory operation on an atomically-managed word.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field == nil {
+				return true
+			}
+			if _, mixed := atomicFields[field]; mixed {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this package; this plain access races with those atomic operations",
+					fieldDesc(field))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes one of the sync/atomic package
+// functions listed in atomicFuncs.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf returns the struct field a selector expression resolves to, or nil
+// when the selector is not a field access.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// fieldDesc renders a field as Type.field for diagnostics.
+func fieldDesc(field *types.Var) string {
+	name := field.Name()
+	if field.Pkg() != nil {
+		return field.Pkg().Name() + "." + name
+	}
+	return name
+}

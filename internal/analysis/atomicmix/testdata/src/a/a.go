@@ -1,0 +1,47 @@
+// Fixture for the atomicmix analyzer: the entry type mirrors the
+// lockfree.Entry next-link chaining that motivated the check.
+package a
+
+import "sync/atomic"
+
+type entry struct {
+	next int32
+	id   int32
+}
+
+type table struct {
+	head    int32
+	entries []entry
+}
+
+// atomicOps touches next and head only through sync/atomic — these accesses
+// establish the fields' atomic discipline.
+func atomicOps(t *table, e *entry, v int32) {
+	atomic.StoreInt32(&e.next, v)
+	for {
+		old := atomic.LoadInt32(&t.head)
+		if atomic.CompareAndSwapInt32(&t.head, old, v) {
+			return
+		}
+	}
+}
+
+// plainNext breaks the discipline with a plain load.
+func plainNext(e *entry) int32 {
+	return e.next // want "accessed with sync/atomic"
+}
+
+// plainStore breaks it with a plain store.
+func plainStore(t *table) {
+	t.head = 7 // want "accessed with sync/atomic"
+}
+
+// plainID is fine: id is never accessed atomically.
+func plainID(e *entry) int32 {
+	return e.id
+}
+
+// suppressed demonstrates the opt-out directive.
+func suppressed(e *entry) int32 {
+	return e.next //lint:atomicmix-ok
+}

@@ -1,0 +1,12 @@
+package errfull_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errfull"
+)
+
+func TestErrFull(t *testing.T) {
+	analysistest.Run(t, "testdata", errfull.Analyzer, "a")
+}

@@ -1,0 +1,76 @@
+// Fixture for the errfull analyzer: set mirrors the lockfree hash
+// structures' Insert/grow error contract.
+package a
+
+import "errors"
+
+var errFull = errors.New("full")
+
+type set struct{ n int }
+
+func (s *set) Insert(k uint64) error               { s.n++; return errFull }
+func (s *set) InsertPair(a, b int32) (bool, error) { return false, errFull }
+func (s *set) Len() int                            { return s.n }
+func growSet(s *set) error                         { return nil }
+func insertAll(s *set, keys []uint64) (int, error) { return len(keys), nil }
+
+// dropped discards the error entirely.
+func dropped(s *set) {
+	s.Insert(1) // want "dropped error"
+}
+
+// blank discards it via the blank identifier.
+func blank(s *set) {
+	_, _ = s.InsertPair(1, 2) // want "dropped error"
+}
+
+// blankMulti drops only the error position.
+func blankMulti(s *set, keys []uint64) int {
+	n, _ := insertAll(s, keys) // want "dropped error"
+	return n
+}
+
+// inGo cannot observe the error at all.
+func inGo(s *set) {
+	go s.Insert(2) // want "unobservable"
+}
+
+// inDefer cannot either.
+func inDefer(s *set) {
+	defer growSet(s) // want "unobservable"
+}
+
+// handled is the documented pattern: check, grow, retry.
+func handled(s *set, keys []uint64) error {
+	for _, k := range keys {
+		if err := s.Insert(k); err != nil {
+			if !errors.Is(err, errFull) {
+				return err
+			}
+			if err := growSet(s); err != nil {
+				return err
+			}
+			if err := s.Insert(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// captured keeps the error in a variable.
+func captured(s *set) error {
+	added, err := s.InsertPair(3, 4)
+	_ = added
+	return err
+}
+
+// lenCall returns no error: not flagged.
+func lenCall(s *set) {
+	s.Len()
+}
+
+// suppressed demonstrates the opt-out directive.
+func suppressed(s *set) {
+	s.Insert(9) //lint:errfull-ok
+}

@@ -1,0 +1,69 @@
+// Package floateq flags == and != comparisons between floating-point
+// operands. In the orbital-math packages (internal/kepler, internal/brent,
+// internal/filters, internal/vec3) an exact float comparison is almost
+// always a latent bug: anomaly solutions, root brackets, and distances carry
+// rounding error, so equality tests must use a tolerance. The rare
+// intentional exact comparisons — IEEE tie-breaks in sort orders,
+// exact-zero fast paths, NaN tests — are annotated //lint:floateq-ok.
+//
+// Allowed without annotation:
+//   - x != x and x == x (the IEEE NaN idiom);
+//   - comparisons where both operands are compile-time constants.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag == / != on floating-point operands; compare with a tolerance " +
+		"or annotate intentional exact comparisons with //lint:floateq-ok",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := pass.TypesInfo.Types[bin.X]
+			ty, oky := pass.TypesInfo.Types[bin.Y]
+			if !okx || !oky {
+				return true
+			}
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			// Both sides constant: evaluated at compile time, exact.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			// The NaN idiom compares an expression with itself.
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or annotate //lint:floateq-ok",
+				bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's core type is a floating-point or complex type.
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,52 @@
+// Fixture for the floateq analyzer.
+package a
+
+import "math"
+
+type state struct {
+	tca float64
+}
+
+// eq and neq are the textbook bugs.
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func neq(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func fields(x, y state) bool {
+	return x.tca == y.tca // want "floating-point == comparison"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+// nan is the IEEE NaN idiom: allowed.
+func nan(x float64) bool {
+	return x != x
+}
+
+// tolerance is the recommended pattern: no equality operator involved.
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// ints are not floats.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// constants fold at compile time: exact by construction.
+const eps = 1e-9
+
+func constants() bool {
+	return eps == 1e-9
+}
+
+// sortTie is an intentional exact comparison, annotated.
+func sortTie(a, b float64) bool {
+	return a != b //lint:floateq-ok
+}

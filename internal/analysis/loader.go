@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory holding the sources
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Name        string
+	Standard    bool
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+	Error       *struct{ Err string }
+}
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// Dir is the module directory `go list` runs in; empty means the
+	// current directory.
+	Dir string
+	// Tests includes in-package _test.go files in the analysis. External
+	// test packages (package foo_test) are never loaded.
+	Tests bool
+}
+
+// Load enumerates the packages matching the patterns with `go list`, parses
+// and type-checks them in dependency order, and returns them ready for
+// analysis. Standard-library imports are resolved through the compiler's
+// export data (with a source-based fallback), so no network or module
+// downloads are involved.
+func Load(patterns []string, opt LoadOptions) ([]*Package, error) {
+	listed, err := goList(patterns, opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	std := newStdImporter(fset)
+	checked := make(map[string]*types.Package)
+	imp := &moduleImporter{std: std, checked: checked}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	order, err := topoSort(listed, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	for _, lp := range order {
+		files, err := parsePackage(fset, lp, opt.Tests)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// goList shells out to `go list -e -json` and returns the module's matching
+// packages (standard-library and empty matches are dropped).
+func goList(patterns []string, dir string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if lp.Standard || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		out = append(out, &lp)
+	}
+	return out, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer. Imports outside the listed set resolve through the importer
+// chain instead.
+func topoSort(listed []*listedPackage, byPath map[string]*listedPackage) ([]*listedPackage, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(listed))
+	var order []*listedPackage
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", lp.ImportPath)
+		}
+		state[lp.ImportPath] = visiting
+		deps := lp.Imports
+		deps = append(append([]string(nil), deps...), lp.TestImports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if next, ok := byPath[dep]; ok {
+				if err := visit(next); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = done
+		order = append(order, lp)
+		return nil
+	}
+	// Deterministic traversal order.
+	sorted := append([]*listedPackage(nil), listed...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, lp := range sorted {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// parsePackage parses the package's Go files (with comments, for the
+// suppression directives).
+func parsePackage(fset *token.FileSet, lp *listedPackage, tests bool) ([]*ast.File, error) {
+	names := append([]string(nil), lp.GoFiles...)
+	if tests {
+		names = append(names, lp.TestGoFiles...)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// moduleImporter resolves imports of already-checked module packages from the
+// in-memory map and delegates everything else (the standard library) to the
+// stdlib importer chain.
+type moduleImporter struct {
+	std     types.Importer
+	checked map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}
+
+// stdImporter tries the compiler export-data importer first and falls back
+// to type-checking from GOROOT source, so standard-library resolution works
+// on toolchains with or without installed .a files.
+type stdImporter struct {
+	gc    types.Importer
+	src   types.Importer
+	cache map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{
+		gc:    importer.ForCompiler(fset, "gc", nil),
+		src:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := s.cache[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := s.gc.Import(path)
+	if err != nil {
+		pkg, err = s.src.Import(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: importing %s: %w", path, err)
+	}
+	s.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files as one
+// package, resolving imports from the standard library only. It backs the
+// analysistest fixture harness, where fixtures are self-contained packages
+// under testdata/src.
+func LoadDir(dir, path string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, m := range matches {
+		f, err := parser.ParseFile(fset, m, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: newStdImporter(fset)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,56 @@
+// Fixture for the unitcheck analyzer.
+package a
+
+import "math"
+
+const earthRadiusKm = 6378.1363
+
+// badCompare mixes a metre-denominated distance with a kilometre threshold.
+func badCompare(thresholdKm, distMeters float64) bool {
+	return distMeters < thresholdKm // want "kilometres and metres"
+}
+
+// badAdd sums incompatible lengths.
+func badAdd(altKm, offsetMeters float64) float64 {
+	return altKm + offsetMeters // want "kilometres and metres"
+}
+
+// converted scales explicitly: the *1000 swaps the unit tag.
+func converted(thresholdKm, distMeters float64) bool {
+	return distMeters < thresholdKm*1000
+}
+
+// badTrig passes degrees where math.Sin wants radians.
+func badTrig(incDeg float64) float64 {
+	return math.Sin(incDeg) // want "degrees"
+}
+
+// convTrig converts first: evidence of both units marks a conversion.
+func convTrig(incDeg float64) float64 {
+	return math.Sin(incDeg * math.Pi / 180)
+}
+
+// badAngle compares degrees against radians.
+func badAngle(incDeg, incRad float64) bool {
+	return incDeg < incRad // want "degrees and radians"
+}
+
+// badPi compares a degree quantity against the radian constant math.Pi.
+func badPi(maxDeg float64) bool {
+	return maxDeg < math.Pi // want "degrees and radians"
+}
+
+// radiusIsNotRad: "radius" must not parse as "rad".
+func radiusIsNotRad(orbitRadiusKm float64) bool {
+	return orbitRadiusKm > earthRadiusKm
+}
+
+// untagged operands carry no evidence: never flagged.
+func untagged(a, b float64) bool {
+	return a < b
+}
+
+// suppressed demonstrates the opt-out directive.
+func suppressed(maxDeg float64) bool {
+	return maxDeg < math.Pi //lint:unitcheck-ok
+}

@@ -1,0 +1,209 @@
+// Package unitcheck flags suspicious unit mixes in orbital code: kilometres
+// combined with metres, and degrees combined with radians. The pipeline is
+// all-kilometres, all-radians (the paper's convention, documented in
+// internal/orbit), but inputs arrive in degrees (TLEs, CLI flags) and
+// metre-denominated thresholds are a classic integration bug — a screening
+// threshold three orders of magnitude off produces either an empty or an
+// absurd conjunction list without crashing.
+//
+// The check is heuristic and name-driven. An expression carries a unit tag
+// when its identifiers contain the words "km", "m"/"meters"/"metres",
+// "deg"/"degrees", or "rad"/"radians" (camel-case and snake_case are both
+// understood; "radius" is not "rad"), or when it references a known
+// constant: orbit.EarthRadius is kilometres, math.Pi and mathx.TwoPi are
+// radians. A finding is reported when
+//
+//   - an addition, subtraction, or comparison has one operand tagged only
+//     with kilometres and the other only with metres (or deg vs rad);
+//   - a math trigonometric call receives an argument tagged as degrees.
+//
+// Expressions showing evidence of both units of a pair (e.g. deg*math.Pi/180)
+// are treated as conversions and left alone, as are multiplications or
+// divisions by 1000/1e-3 (km↔m scaling). False positives are silenced with
+// //lint:unitcheck-ok.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the unitcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc: "flag km↔m and deg↔rad mixes in comparisons, sums, and trig calls; " +
+		"convert explicitly or annotate //lint:unitcheck-ok",
+	Run: run,
+}
+
+// unit is a bit set of unit evidence.
+type unit uint8
+
+const (
+	uKm unit = 1 << iota
+	uM
+	uDeg
+	uRad
+)
+
+// wordUnits maps identifier words to unit evidence.
+var wordUnits = map[string]unit{
+	"km": uKm, "kilometers": uKm, "kilometres": uKm,
+	"m": uM, "meters": uM, "metres": uM,
+	"deg": uDeg, "degs": uDeg, "degree": uDeg, "degrees": uDeg,
+	"rad": uRad, "rads": uRad, "radian": uRad, "radians": uRad,
+}
+
+// knownConstants assigns units to exported constants whose documentation
+// fixes their unit but whose name carries no unit word.
+var knownConstants = map[string]unit{
+	"repro/internal/orbit.EarthRadius": uKm,
+	"repro/internal/mathx.TwoPi":       uRad,
+	"math.Pi":                          uRad,
+}
+
+// trigFuncs are the math functions that require radian arguments.
+var trigFuncs = map[string]bool{
+	"Sin": true, "Cos": true, "Tan": true, "Sincos": true,
+	"Asin": true, "Acos": true, "Atan": true,
+}
+
+// mixOps are the operators where operands must share a unit.
+var mixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if !mixOps[e.Op] {
+					return true
+				}
+				lt, rt := tagsOf(pass, e.X), tagsOf(pass, e.Y)
+				if conflict(lt, rt, uDeg, uRad) {
+					pass.Reportf(e.OpPos,
+						"operands of %s mix degrees and radians; convert with *math.Pi/180 or annotate //lint:unitcheck-ok", e.Op)
+				}
+				if conflict(lt, rt, uKm, uM) {
+					pass.Reportf(e.OpPos,
+						"operands of %s mix kilometres and metres; scale by 1000 or annotate //lint:unitcheck-ok", e.Op)
+				}
+			case *ast.CallExpr:
+				if fn := trigCallee(pass, e); fn != "" && len(e.Args) > 0 {
+					t := tagsOf(pass, e.Args[0])
+					if t&uDeg != 0 && t&uRad == 0 {
+						pass.Reportf(e.Args[0].Pos(),
+							"argument of math.%s looks like degrees but radians are expected; convert with *math.Pi/180 or annotate //lint:unitcheck-ok", fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// conflict reports whether one side carries exclusively unit a of the (a, b)
+// pair and the other exclusively b.
+func conflict(lt, rt, a, b unit) bool {
+	lOnlyA := lt&a != 0 && lt&b == 0
+	lOnlyB := lt&b != 0 && lt&a == 0
+	rOnlyA := rt&a != 0 && rt&b == 0
+	rOnlyB := rt&b != 0 && rt&a == 0
+	return (lOnlyA && rOnlyB) || (lOnlyB && rOnlyA)
+}
+
+// tagsOf computes the unit evidence carried by an expression.
+func tagsOf(pass *analysis.Pass, e ast.Expr) unit {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return identUnits(pass, x)
+	case *ast.SelectorExpr:
+		return identUnits(pass, x.Sel) | tagsOf(pass, x.X)
+	case *ast.ParenExpr:
+		return tagsOf(pass, x.X)
+	case *ast.UnaryExpr:
+		return tagsOf(pass, x.X)
+	case *ast.IndexExpr:
+		return tagsOf(pass, x.X)
+	case *ast.StarExpr:
+		return tagsOf(pass, x.X)
+	case *ast.CallExpr:
+		t := tagsOf(pass, x.Fun)
+		for _, a := range x.Args {
+			t |= tagsOf(pass, a)
+		}
+		return t
+	case *ast.BinaryExpr:
+		// Scaling by 1000 (or 1e-3) converts between km and m: compute the
+		// non-literal side's tags and swap the length pair.
+		if x.Op == token.MUL || x.Op == token.QUO {
+			if isScale1000(pass, x.Y) {
+				return swapLength(tagsOf(pass, x.X))
+			}
+			if x.Op == token.MUL && isScale1000(pass, x.X) {
+				return swapLength(tagsOf(pass, x.Y))
+			}
+		}
+		return tagsOf(pass, x.X) | tagsOf(pass, x.Y)
+	}
+	return 0
+}
+
+// identUnits derives unit evidence from an identifier's words and from the
+// known-constant table.
+func identUnits(pass *analysis.Pass, id *ast.Ident) unit {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil {
+		if u, ok := knownConstants[obj.Pkg().Path()+"."+obj.Name()]; ok {
+			return u
+		}
+	}
+	var t unit
+	for _, w := range analysis.WordsOf(id.Name) {
+		t |= wordUnits[w]
+	}
+	return t
+}
+
+// isScale1000 reports whether e is the constant 1000 or 1/1000.
+func isScale1000(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	s := tv.Value.String()
+	return s == "1000" || s == "0.001" || strings.HasPrefix(s, "1000.") || s == "1/1000"
+}
+
+// swapLength exchanges the km and m bits, leaving angle evidence unchanged.
+func swapLength(t unit) unit {
+	out := t &^ (uKm | uM)
+	if t&uKm != 0 {
+		out |= uM
+	}
+	if t&uM != 0 {
+		out |= uKm
+	}
+	return out
+}
+
+// trigCallee returns the math trig function name invoked by call, or "".
+func trigCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !trigFuncs[sel.Sel.Name] {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return ""
+	}
+	return fn.Name()
+}

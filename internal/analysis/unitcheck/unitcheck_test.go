@@ -1,0 +1,12 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unitcheck"
+)
+
+func TestUnitCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", unitcheck.Analyzer, "a")
+}

@@ -121,10 +121,10 @@ func Minimize(f func(float64) float64, a, b, tol float64, maxIter int) (Result, 
 			} else {
 				b = u
 			}
-			if fu <= fw || w == x {
+			if fu <= fw || w == x { //lint:floateq-ok — iterate-identity bookkeeping
 				v, w = w, u
 				fv, fw = fw, fu
-			} else if fu <= fv || v == x || v == w {
+			} else if fu <= fv || v == x || v == w { //lint:floateq-ok — iterate-identity bookkeeping
 				v, fv = u, fu
 			}
 		}

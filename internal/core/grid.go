@@ -408,7 +408,7 @@ func sortConjunctions(cs []Conjunction) {
 		if cs[i].B != cs[j].B {
 			return cs[i].B < cs[j].B
 		}
-		if cs[i].TCA != cs[j].TCA {
+		if cs[i].TCA != cs[j].TCA { //lint:floateq-ok — deterministic sort tie-break
 			return cs[i].TCA < cs[j].TCA
 		}
 		return cs[i].Step < cs[j].Step

@@ -143,7 +143,7 @@ func Estimate(sats []propagation.Satellite, cfg Config) (*Result, error) {
 		res.Pairs = append(res.Pairs, *pr)
 	}
 	sort.Slice(res.Pairs, func(i, j int) bool {
-		if res.Pairs[i].RatePerSecond != res.Pairs[j].RatePerSecond {
+		if res.Pairs[i].RatePerSecond != res.Pairs[j].RatePerSecond { //lint:floateq-ok — deterministic sort tie-break
 			return res.Pairs[i].RatePerSecond > res.Pairs[j].RatePerSecond
 		}
 		if res.Pairs[i].A != res.Pairs[j].A {

@@ -58,26 +58,37 @@ func Sum128(data []byte, seed uint32) (uint64, uint64) {
 		k1 := binary.LittleEndian.Uint64(p)
 		k2 := binary.LittleEndian.Uint64(p[8:])
 		p = p[16:]
-
-		k1 *= c1
-		k1 = bits.RotateLeft64(k1, 31)
-		k1 *= c2
-		h1 ^= k1
-
-		h1 = bits.RotateLeft64(h1, 27)
-		h1 += h2
-		h1 = h1*5 + 0x52dce729
-
-		k2 *= c2
-		k2 = bits.RotateLeft64(k2, 33)
-		k2 *= c1
-		h2 ^= k2
-
-		h2 = bits.RotateLeft64(h2, 31)
-		h2 += h1
-		h2 = h2*5 + 0x38495ab5
+		h1, h2 = mixBlock(h1, h2, k1, k2)
 	}
+	return finalize(h1, h2, p, n)
+}
 
+// mixBlock folds one 16-byte block into the running state — the body round
+// shared by the one-shot Sum128 and the streaming Hasher.
+func mixBlock(h1, h2, k1, k2 uint64) (uint64, uint64) {
+	k1 *= c1
+	k1 = bits.RotateLeft64(k1, 31)
+	k1 *= c2
+	h1 ^= k1
+
+	h1 = bits.RotateLeft64(h1, 27)
+	h1 += h2
+	h1 = h1*5 + 0x52dce729
+
+	k2 *= c2
+	k2 = bits.RotateLeft64(k2, 33)
+	k2 *= c1
+	h2 ^= k2
+
+	h2 = bits.RotateLeft64(h2, 31)
+	h2 += h1
+	h2 = h2*5 + 0x38495ab5
+	return h1, h2
+}
+
+// finalize absorbs the up-to-15-byte tail p and applies the finalisation
+// mix; n is the total input length.
+func finalize(h1, h2 uint64, p []byte, n int) (uint64, uint64) {
 	// Tail.
 	var k1, k2 uint64
 	switch len(p) {

@@ -1,0 +1,107 @@
+package hash
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/bits"
+	"testing"
+)
+
+// FuzzMurmur3 checks the hash family's structural invariants on arbitrary
+// inputs:
+//
+//  1. determinism — equal inputs produce equal digests;
+//  2. one-shot/incremental agreement — the streaming Hasher matches Sum128
+//     regardless of how the input is split across Write calls;
+//  3. Sum64 is the first word of Sum128;
+//  4. Mix64 is a bijection (Unmix64 inverts it) with avalanche behaviour:
+//     over the 64 single-bit flips of an input word, the mean number of
+//     output bits flipped stays near 32.
+func FuzzMurmur3(f *testing.F) {
+	f.Add([]byte(nil), uint32(0))
+	f.Add([]byte(""), uint32(1))
+	f.Add([]byte("a"), uint32(42))
+	f.Add([]byte("0123456789abcdef"), uint32(0))  // exactly one block
+	f.Add([]byte("0123456789abcdef0"), uint32(7)) // block + 1 tail byte
+	f.Add([]byte("the quick brown fox"), uint32(0xffff))
+	f.Add(bytes.Repeat([]byte{0}, 64), uint32(0))
+	f.Add(bytes.Repeat([]byte{0xff, 0x00}, 40), uint32(0xdeadbeef))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint32) {
+		h1, h2 := Sum128(data, seed)
+
+		// Determinism.
+		if r1, r2 := Sum128(data, seed); r1 != h1 || r2 != h2 {
+			t.Fatalf("Sum128 not deterministic: (%x,%x) vs (%x,%x)", h1, h2, r1, r2)
+		}
+		if s := Sum64(data, seed); s != h1 {
+			t.Fatalf("Sum64 = %x, want first word %x", s, h1)
+		}
+
+		// Incremental agreement across several split strategies.
+		splits := [][]int{
+			{len(data)},                    // one Write
+			{len(data) / 2},                // two Writes
+			{1, 7, 16, 17},                 // uneven chunks crossing block edges
+			{len(data) / 3, len(data) / 3}, // three Writes
+		}
+		for _, cuts := range splits {
+			h := New128(seed)
+			rest := data
+			for _, c := range cuts {
+				if c < 0 || c > len(rest) {
+					c = len(rest)
+				}
+				if _, err := h.Write(rest[:c]); err != nil {
+					t.Fatalf("Write: %v", err)
+				}
+				rest = rest[c:]
+			}
+			if _, err := h.Write(rest); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			g1, g2 := h.Sum128()
+			if g1 != h1 || g2 != h2 {
+				t.Fatalf("incremental %v digest (%x,%x), one-shot (%x,%x)", cuts, g1, g2, h1, h2)
+			}
+			// Sum128 must not consume state: summing again agrees.
+			if r1, r2 := h.Sum128(); r1 != g1 || r2 != g2 {
+				t.Fatalf("Hasher.Sum128 mutated state")
+			}
+		}
+
+		// Byte-at-a-time writes for short inputs (covers every buffer fill
+		// path without quadratic cost on large fuzz inputs).
+		if len(data) <= 64 {
+			h := New128(seed)
+			for i := range data {
+				if _, err := h.Write(data[i : i+1]); err != nil {
+					t.Fatalf("Write: %v", err)
+				}
+			}
+			if g1, g2 := h.Sum128(); g1 != h1 || g2 != h2 {
+				t.Fatalf("byte-at-a-time digest (%x,%x), one-shot (%x,%x)", g1, g2, h1, h2)
+			}
+		}
+
+		// Mix64 bijectivity and avalanche on a word derived from the input.
+		var word [8]byte
+		copy(word[:], data)
+		x := binary.LittleEndian.Uint64(word[:]) ^ uint64(seed)<<32 ^ h1
+		if Unmix64(Mix64(x)) != x {
+			t.Fatalf("Unmix64 does not invert Mix64 at %x", x)
+		}
+		mixed := Mix64(x)
+		totalFlips := 0
+		for b := 0; b < 64; b++ {
+			d := Mix64(x^(1<<b)) ^ mixed
+			if d == 0 {
+				t.Fatalf("no avalanche: flipping bit %d of %x leaves Mix64 unchanged", b, x)
+			}
+			totalFlips += bits.OnesCount64(d)
+		}
+		if mean := float64(totalFlips) / 64; mean < 20 || mean > 44 {
+			t.Fatalf("poor avalanche at %x: mean %0.1f output bits flipped, want ≈32", x, mean)
+		}
+	})
+}

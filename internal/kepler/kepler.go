@@ -122,7 +122,7 @@ func (c Contour) Solve(m, e float64) float64 {
 		num += z * w
 		den += w
 	}
-	if den == 0 {
+	if den == 0 { //lint:floateq-ok — exact-zero cancellation guard
 		// Pathological cancellation; the Newton fallback is always safe.
 		return newtonSolve(m, e)
 	}

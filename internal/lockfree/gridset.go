@@ -10,7 +10,9 @@
 // followed by a parallel read phase. All mutation goes through sync/atomic
 // operations, so the structures are safe for any number of concurrent
 // inserters without locks — the property that lets the paper saturate GPU
-// and CPU hardware.
+// and CPU hardware. Lookups are additionally safe while insertions are
+// still in flight (they observe a consistent prefix of each cell's list);
+// only Reset/ResetParallel require external quiescence.
 package lockfree
 
 import (
@@ -42,9 +44,16 @@ var ErrFull = errors.New("lockfree: hash structure full")
 // step, and the index of the next entry in the same cell. Entries are
 // preallocated in one contiguous arena ("each satellite produces exactly one
 // of these entries, so we can allocate them in advance").
+//
+// The next-link is atomic: it is written while the entry is being published
+// into a cell's list and read by list traversals, and the two may overlap
+// when lookups run during the insertion phase. ID and Pos stay plain — they
+// are written once by the inserting goroutine before the entry becomes
+// reachable (the head CAS in push establishes the happens-before edge), and
+// are immutable afterwards.
 type Entry struct {
 	ID   int32
-	next int32
+	next atomic.Int32
 	Pos  vec3.V
 }
 
@@ -180,7 +189,7 @@ func (g *GridSet) push(slot uint64, entryIdx int32) {
 	h := &g.heads[slot]
 	for {
 		old := h.Load()
-		g.entries[entryIdx].next = old
+		g.entries[entryIdx].next.Store(old)
 		if h.CompareAndSwap(old, entryIdx) {
 			return
 		}
@@ -189,7 +198,8 @@ func (g *GridSet) push(slot uint64, entryIdx int32) {
 
 // Head returns the index of the first entry of the cell with the given key,
 // or -1 when the cell is empty. Intended for the read phase, after all
-// insertions completed.
+// insertions completed; calling it concurrently with inserters is safe and
+// yields the cell's already-published entries.
 func (g *GridSet) Head(cellKey uint64) int32 {
 	slot := hash.Mix64(cellKey) & g.mask
 	for probed := uint64(0); probed <= g.mask; probed++ {
@@ -211,7 +221,7 @@ func (g *GridSet) Entry(i int32) *Entry { return &g.entries[i] }
 
 // Next returns the arena index of the entry following i in its cell list,
 // or -1 at the end.
-func (g *GridSet) Next(i int32) int32 { return g.entries[i].next }
+func (g *GridSet) Next(i int32) int32 { return g.entries[i].next.Load() }
 
 // SlotKey returns the cell key stored in slot s (EmptySlot if unoccupied)
 // and the head entry index of its list. It powers the parallel

@@ -74,7 +74,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 				best, piv = v, r
 			}
 		}
-		if best == 0 {
+		if best == 0 { //lint:floateq-ok — exact-zero pivot means singular
 			return nil, ErrSingular
 		}
 		a[col], a[piv] = a[piv], a[col]
@@ -82,7 +82,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		// Eliminate below.
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] / a[col][col]
-			if f == 0 {
+			if f == 0 { //lint:floateq-ok — exact-zero skip is an optimisation
 				continue
 			}
 			for c := col; c < n; c++ {
@@ -212,7 +212,7 @@ func (s *SplitMix64) NormFloat64() float64 {
 	}
 	for {
 		u := s.Float64()
-		if u == 0 {
+		if u == 0 { //lint:floateq-ok — guard before log(0)
 			continue
 		}
 		v := s.Float64()

@@ -187,7 +187,7 @@ func (el Elements) TrueAnomalyOfDirection(u vec3.V) float64 {
 func FromStateVector(r, v vec3.V) (Elements, error) {
 	rn := r.Norm()
 	vn := v.Norm()
-	if rn == 0 {
+	if rn == 0 { //lint:floateq-ok — degenerate-input guard
 		return Elements{}, errors.New("orbit: zero position vector")
 	}
 	h := r.Cross(v)

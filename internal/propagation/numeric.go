@@ -37,7 +37,7 @@ func (PointMass) Name() string { return "point-mass" }
 func (PointMass) Accel(pos, _ vec3.V, _ float64) vec3.V {
 	r2 := pos.Norm2()
 	r := math.Sqrt(r2)
-	if r == 0 {
+	if r == 0 { //lint:floateq-ok — guard before division by r
 		return vec3.Zero
 	}
 	return pos.Scale(-orbit.MuEarth / (r2 * r))
@@ -55,7 +55,7 @@ func (J2Force) Name() string { return "j2-full" }
 // Accel implements Force.
 func (J2Force) Accel(pos, _ vec3.V, _ float64) vec3.V {
 	r2 := pos.Norm2()
-	if r2 == 0 {
+	if r2 == 0 { //lint:floateq-ok — guard before division by r2
 		return vec3.Zero
 	}
 	r := math.Sqrt(r2)
@@ -104,7 +104,7 @@ func (d Drag) Accel(pos, vel vec3.V, _ float64) vec3.V {
 	h := pos.Norm() - orbit.EarthRadius
 	rho := rho0 * math.Exp(-(h-h0)/scale) // kg/m³
 	v := vel.Norm()                       // km/s
-	if v == 0 {
+	if v == 0 {                           //lint:floateq-ok — guard before division by v
 		return vec3.Zero
 	}
 	// a [km/s²] = −½·ρ[kg/m³]·(CdA/m)[m²/kg]·v²[km²/s²]·1000 [m/km] · v̂
@@ -160,7 +160,7 @@ func (n Numeric) State(s *Satellite, t float64) (pos, vel vec3.V) {
 	ecc := solver.Solve(m, s.Elements.Eccentricity)
 	f := s.Elements.TrueFromEccentric(ecc)
 	pos, vel = s.Elements.StateAtTrueAnomalyBasis(f, s.basisP, s.basisQ)
-	if t == 0 {
+	if t == 0 { //lint:floateq-ok — exact epoch fast path
 		return pos, vel
 	}
 	h := n.step()

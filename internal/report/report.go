@@ -45,13 +45,13 @@ func FormatFloat(x float64) string {
 		return "NaN"
 	case math.IsInf(x, 0):
 		return "Inf"
-	case x == math.Trunc(x) && math.Abs(x) < 1e15:
+	case x == math.Trunc(x) && math.Abs(x) < 1e15: //lint:floateq-ok — integrality test
 		return GroupThousands(fmt.Sprintf("%.0f", x))
 	case math.Abs(x) >= 1000:
 		return GroupThousands(fmt.Sprintf("%.1f", x))
 	case math.Abs(x) >= 1:
 		return fmt.Sprintf("%.3f", x)
-	case x == 0:
+	case x == 0: //lint:floateq-ok — exact-zero display case
 		return "0"
 	default:
 		return fmt.Sprintf("%.4g", x)
@@ -253,7 +253,7 @@ func (f *Figure) WriteASCII(w io.Writer) error {
 		for _, s := range f.Series {
 			val := ""
 			for i := range s.X {
-				if s.X[i] == x {
+				if s.X[i] == x { //lint:floateq-ok — lookup of a stored sample
 					val = FormatFloat(s.Y[i])
 					break
 				}

@@ -78,10 +78,10 @@ func (f *Figure) WriteSVG(w io.Writer, opts SVGOptions) error {
 	if points == 0 {
 		return fmt.Errorf("report: figure %q has no drawable points", f.Title)
 	}
-	if maxX == minX {
+	if maxX == minX { //lint:floateq-ok — degenerate-range guard
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY == minY { //lint:floateq-ok — degenerate-range guard
 		maxY = minY + 1
 	}
 	px := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }

@@ -71,11 +71,11 @@ func Probability(missKm, sigmaAKm, sigmaBKm, hardBodyKm float64) (float64, error
 	case hardBodyKm < 0 || math.IsNaN(hardBodyKm):
 		return 0, fmt.Errorf("risk: invalid hard-body radius %g", hardBodyKm)
 	}
-	if hardBodyKm == 0 {
+	if hardBodyKm == 0 { //lint:floateq-ok — exact-zero semantics
 		return 0, nil
 	}
 	sigma2 := sigmaAKm*sigmaAKm + sigmaBKm*sigmaBKm
-	if sigma2 == 0 {
+	if sigma2 == 0 { //lint:floateq-ok — exact-zero semantics
 		if missKm <= hardBodyKm {
 			return 1, nil
 		}

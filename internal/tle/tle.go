@@ -375,7 +375,7 @@ func pad69(s string) string {
 
 // formatImpliedExp renders v in the 8-character implied-exponent field.
 func formatImpliedExp(v float64) string {
-	if v == 0 {
+	if v == 0 { //lint:floateq-ok — exact-zero format case
 		return " 00000-0"
 	}
 	sign := " "

@@ -65,7 +65,7 @@ func (v V) Dist2(w V) float64 { return v.Sub(w).Norm2() }
 // line) get a harmless result instead of NaNs.
 func (v V) Unit() V {
 	n := v.Norm()
-	if n == 0 {
+	if n == 0 { //lint:floateq-ok — zero-vector guard
 		return Zero
 	}
 	return v.Scale(1 / n)
