@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race fuzz bench
+.PHONY: all build test lint race fuzz bench bench-alloc
 
 all: build lint test
 
@@ -24,10 +24,19 @@ lint:
 race:
 	$(GO) test -race ./internal/lockfree/... ./internal/core/...
 
-## fuzz: short fuzz session for the MurmurHash3 invariants (determinism,
-## streaming/one-shot agreement, finaliser avalanche).
+## fuzz: short fuzz sessions — MurmurHash3 invariants (determinism,
+## streaming/one-shot agreement, finaliser avalanche) and TLE parsing
+## (no-panic on arbitrary input, guarded Format/Parse round trip).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzMurmur3 -fuzztime=20s ./internal/hash
+	$(GO) test -run=^$$ -fuzz=FuzzTLEParse -fuzztime=20s ./internal/tle
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+## bench-alloc: the steady-state screening benchmark with allocation
+## reporting, plus the checked-in allocation budget (alloc_test.go) that
+## fails if the pooled pipeline regresses past it.
+bench-alloc:
+	$(GO) test -run='^$$' -bench=BenchmarkSteadyStateScreen -benchtime=5x ./internal/core
+	$(GO) test -run=TestSteadyStateAllocationBudget -v ./internal/core

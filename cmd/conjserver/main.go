@@ -8,7 +8,13 @@
 //
 //	GET  /v1/health   liveness
 //	GET  /v1/version  build/paper info
+//	GET  /v1/pool     buffer-pool counters (reuse/leak observability)
 //	POST /v1/screen   screen a population (JSON; see internal/httpapi)
+//
+// Screening requests draw their grid/pair/state structures from the shared
+// process pool (internal/pool), so back-to-back and concurrent requests
+// reuse warm buffers instead of re-allocating per run; /v1/pool exposes the
+// hit and balance counters.
 //
 // Example:
 //
@@ -34,12 +40,13 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		maxObjects = flag.Int("max-objects", 100000, "largest accepted population")
+		maxBody    = flag.Int64("max-body-bytes", 0, "request body byte limit (0 = 64 MiB default)")
 	)
 	flag.Parse()
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(*maxObjects),
+		Handler:           httpapi.NewWithLimits(*maxObjects, *maxBody),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("conjserver %s listening on %s (max objects %d)", httpapi.Version, *addr, *maxObjects)

@@ -1,0 +1,218 @@
+package core
+
+// The allocation-budget gate of the pooling layer: a steady-state screening
+// window must stay within a checked-in allocation ceiling, and every Screen
+// exit — success or error, any variant or executor — must hand all pooled
+// structures back. CI runs this file like any other test, so a regression
+// that re-introduces per-step or per-run churn fails the build, not just a
+// benchmark graph.
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/propagation"
+)
+
+// steadyStateAllocBudget caps allocations per steady-state window — the
+// workload of BenchmarkSteadyStateScreen (1,000 satellites, 121 steps,
+// single worker, warm pool). Measured: 754 allocs/op before pooling,
+// 13 after. The ceiling leaves headroom for toolchain noise while still
+// failing if any per-step cost (one closure or scratch per step ≈ +121)
+// sneaks back in.
+const steadyStateAllocBudget = 40
+
+func TestSteadyStateAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	sats := benchShellPopulation(t, 1000)
+	cfg := steadyStateConfig()
+	cfg.Pool = pool.New() // isolate from other tests sharing pool.Default
+	det := NewGrid(cfg)
+	if _, err := det.Screen(sats); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := det.Screen(sats); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > steadyStateAllocBudget {
+		t.Errorf("steady-state window averaged %.0f allocs, budget %d — pooling regressed", avg, steadyStateAllocBudget)
+	}
+}
+
+// screenFn runs one detector flavour against a dedicated pool.
+type screenFn func(p *pool.Pool, sats []propagation.Satellite) (*Result, error)
+
+func poolVariants() map[string]screenFn {
+	return map[string]screenFn{
+		"grid": func(p *pool.Pool, sats []propagation.Satellite) (*Result, error) {
+			return NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 300, Workers: 2, Pool: p}).Screen(sats)
+		},
+		"hybrid": func(p *pool.Pool, sats []propagation.Satellite) (*Result, error) {
+			return NewHybrid(Config{ThresholdKm: 2, DurationSeconds: 300, Workers: 2, Pool: p}).Screen(sats)
+		},
+		"batched": func(p *pool.Pool, sats []propagation.Satellite) (*Result, error) {
+			return NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 300, Workers: 2, ParallelSteps: 4, Pool: p}).Screen(sats)
+		},
+		"grown-pair-set": func(p *pool.Pool, sats []propagation.Satellite) (*Result, error) {
+			// PairSlotHint 2 forces repeated pooled growth mid-run.
+			return NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 300, Workers: 2, PairSlotHint: 2, Pool: p}).Screen(sats)
+		},
+	}
+}
+
+// TestScreenRestoresPoolBalance: after any successful run, everything a run
+// got from its pool must be back (Outstanding == 0), and a second run on the
+// warm pool must actually reuse (Hits > 0) — otherwise the pool is dead
+// weight.
+func TestScreenRestoresPoolBalance(t *testing.T) {
+	sats := engineeredPopulation(t)
+	for name, screen := range poolVariants() {
+		t.Run(name, func(t *testing.T) {
+			p := pool.New()
+			if _, err := screen(p, sats); err != nil {
+				t.Fatal(err)
+			}
+			if out := p.Stats().Outstanding(); out != 0 {
+				t.Fatalf("after first run: %d pooled structures not returned", out)
+			}
+			if _, err := screen(p, sats); err != nil {
+				t.Fatal(err)
+			}
+			st := p.Stats()
+			if st.Outstanding() != 0 {
+				t.Fatalf("after second run: %d pooled structures not returned", st.Outstanding())
+			}
+			if st.Hits == 0 {
+				t.Fatalf("second run on a warm pool reused nothing: %+v", st)
+			}
+		})
+	}
+}
+
+// TestScreenErrorPathsRestorePoolBalance drives every validation and
+// pipeline failure and checks no pooled structure leaks with the error.
+func TestScreenErrorPathsRestorePoolBalance(t *testing.T) {
+	good := engineeredPopulation(t)
+	dup := engineeredPopulation(t)
+	dup[1].ID = dup[0].ID
+	bad := engineeredPopulation(t)
+	bad[0].ID = -5
+
+	cases := []struct {
+		name string
+		cfg  Config
+		sats []propagation.Satellite
+	}{
+		{"zero-duration", Config{ThresholdKm: 2}, good},
+		{"duplicate-ids", Config{ThresholdKm: 2, DurationSeconds: 100}, dup},
+		{"id-out-of-range", Config{ThresholdKm: 2, DurationSeconds: 100}, bad},
+		{"uncertainty-negative", Config{ThresholdKm: 2, DurationSeconds: 100, Uncertainty: SliceUncertainty{-1}}, good},
+		{"too-many-steps", Config{ThresholdKm: 2, SecondsPerSample: 0.0001, DurationSeconds: 1e7}, good},
+		// A two-slot grid cannot hold the population's distinct cells, so
+		// insertion fails mid-pipeline, after every structure was acquired.
+		{"grid-insertion-full", Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 100, GridSlotFactor: 0.01}, good},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, variant := range []string{"grid", "hybrid", "batched"} {
+				p := pool.New()
+				cfg := tc.cfg
+				cfg.Pool = p
+				var err error
+				switch variant {
+				case "grid":
+					_, err = NewGrid(cfg).Screen(tc.sats)
+				case "hybrid":
+					_, err = NewHybrid(cfg).Screen(tc.sats)
+				case "batched":
+					cfg.ParallelSteps = 4
+					_, err = NewGrid(cfg).Screen(tc.sats)
+				}
+				if err == nil {
+					t.Fatalf("%s: expected an error", variant)
+				}
+				if out := p.Stats().Outstanding(); out != 0 {
+					t.Errorf("%s: error %q leaked %d pooled structures", variant, err, out)
+				}
+			}
+		})
+	}
+}
+
+// TestDegeneratePopulationsRestorePoolBalance: the <2-satellite early exit
+// returns a nil run before the detectors install their release defer — it
+// must still hand back the ID index it validated with.
+func TestDegeneratePopulationsRestorePoolBalance(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		p := pool.New()
+		sats := benchShellPopulation(t, n)
+		res, err := NewGrid(Config{ThresholdKm: 2, DurationSeconds: 100, Pool: p}).Screen(sats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Conjunctions) != 0 {
+			t.Fatalf("n=%d: unexpected conjunctions", n)
+		}
+		if out := p.Stats().Outstanding(); out != 0 {
+			t.Errorf("n=%d: degenerate run leaked %d pooled structures", n, out)
+		}
+	}
+}
+
+// TestDisabledPoolMatchesDefault: pool.Disabled() must produce identical
+// results to the pooled path — reuse is an optimisation, never a semantic.
+func TestDisabledPoolMatchesDefault(t *testing.T) {
+	sats := engineeredPopulation(t)
+	cfg := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, Workers: 2}
+	pooled, err := NewGrid(cfg).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Pool = pool.Disabled()
+	fresh, err := NewGrid(cfg).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pooled.Conjunctions) != len(fresh.Conjunctions) {
+		t.Fatalf("pooled %d vs disabled %d conjunctions", len(pooled.Conjunctions), len(fresh.Conjunctions))
+	}
+	for i := range pooled.Conjunctions {
+		if pooled.Conjunctions[i] != fresh.Conjunctions[i] {
+			t.Fatalf("conjunction %d differs: %+v vs %+v", i, pooled.Conjunctions[i], fresh.Conjunctions[i])
+		}
+	}
+}
+
+// TestPoolReuseAcrossRunsIsDeterministic: repeated runs on one warm pool
+// must keep producing byte-identical conjunction lists — stale contents in
+// recycled structures must never surface.
+func TestPoolReuseAcrossRunsIsDeterministic(t *testing.T) {
+	sats := engineeredPopulation(t)
+	p := pool.New()
+	cfg := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, Workers: 2, Pool: p}
+	first, err := NewGrid(cfg).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Conjunctions) == 0 {
+		t.Fatal("engineered population should produce conjunctions")
+	}
+	for i := 0; i < 4; i++ {
+		again, err := NewGrid(cfg).Screen(sats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Conjunctions) != len(first.Conjunctions) {
+			t.Fatalf("run %d: %d vs %d conjunctions", i, len(again.Conjunctions), len(first.Conjunctions))
+		}
+		for j := range again.Conjunctions {
+			if again.Conjunctions[j] != first.Conjunctions[j] {
+				t.Fatalf("run %d conjunction %d differs: %+v vs %+v", i, j, again.Conjunctions[j], first.Conjunctions[j])
+			}
+		}
+	}
+}

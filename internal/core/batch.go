@@ -28,10 +28,18 @@ func (r *run) sampleStepsBatched() error {
 	if slotFactor <= 0 {
 		slotFactor = 2
 	}
+	// The batch's private grids come from (and return to) the run's pool, so
+	// successive batched runs — and the steps within one run — recycle the
+	// same instances.
 	grids := make([]*lockfree.GridSet, batch)
 	for i := range grids {
-		grids[i] = lockfree.NewGridSet(int(slotFactor*float64(len(r.sats))), len(r.sats))
+		grids[i] = r.pool.GetGridSet(int(slotFactor*float64(len(r.sats))), len(r.sats))
 	}
+	defer func() {
+		for _, g := range grids {
+			r.pool.PutGridSet(g)
+		}
+	}()
 
 	for base := 0; base < r.steps; base += batch {
 		hi := base + batch
@@ -43,9 +51,10 @@ func (r *run) sampleStepsBatched() error {
 			var firstErr atomic.Value
 			var insNs, cdNs atomic.Int64
 			r.exec.ParallelFor(hi-base, func(lo, hiK int) {
-				var scratch scanScratch
+				scratch := scanScratchPool.Get().(*scanScratch)
+				defer scanScratchPool.Put(scratch)
 				for k := lo; k < hiK; k++ {
-					overflow, ins, cd, err := r.processStepSerial(uint32(base+k), grids[k], &scratch)
+					overflow, ins, cd, err := r.processStepSerial(uint32(base+k), grids[k], scratch)
 					insNs.Add(int64(ins))
 					cdNs.Add(int64(cd))
 					if err != nil {

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/propagation"
+)
+
+// TestBatchedScreenConcurrentRaceStress hammers the batched executor
+// (ParallelSteps > 1) with GOMAXPROCS concurrent screening runs over
+// overlapping windows, all drawing structures from one shared pool and with
+// PairSlotHint forced tiny so pooled pair-set growth happens mid-flight.
+// Under -race this machine-checks the pooled pipeline's isolation claims
+// (private per-step grids, exclusive ownership of pooled structures across
+// Get/Put); without -race it still verifies every run's event counts and
+// that the pool balances once the stampede drains. Style follows
+// lockfree/race_test.go.
+func TestBatchedScreenConcurrentRaceStress(t *testing.T) {
+	sats := engineeredPopulation(t)
+	// engineeredPopulation meets at t=300, 700 and 1200: overlapping windows
+	// see a known prefix of those encounters.
+	windows := []struct {
+		duration float64
+		events   int
+	}{
+		{500, 1},
+		{900, 2},
+		{1400, 3},
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const itersPerWorker = 3
+
+	p := pool.New()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*itersPerWorker*len(windows))
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < itersPerWorker; iter++ {
+				w := windows[(g+iter)%len(windows)]
+				det := NewGrid(Config{
+					ThresholdKm:      2,
+					SecondsPerSample: 1,
+					DurationSeconds:  w.duration,
+					Workers:          2,
+					ParallelSteps:    4,
+					PairSlotHint:     2, // force growPairs under concurrency
+					Pool:             p,
+				})
+				res, err := det.Screen(append([]propagation.Satellite(nil), sats...))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if got := len(res.Events(10)); got != w.events {
+					t.Errorf("goroutine %d window %.0fs: %d events, want %d", g, w.duration, got, w.events)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if out := p.Stats().Outstanding(); out != 0 {
+		t.Errorf("pool left %d structures outstanding after concurrent runs", out)
+	}
+	if p.Stats().Hits == 0 {
+		t.Error("concurrent runs never reused a pooled structure")
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"repro/internal/propagation"
 )
 
-func benchShellPopulation(b *testing.B, n int) []propagation.Satellite {
+func benchShellPopulation(b testing.TB, n int) []propagation.Satellite {
 	b.Helper()
 	rng := mathx.NewSplitMix64(13)
 	sats := make([]propagation.Satellite, n)
@@ -34,6 +34,7 @@ func benchShellPopulation(b *testing.B, n int) []propagation.Satellite {
 // neighbour-lookup constant.
 func BenchmarkNeighborhood_Full26(b *testing.B) {
 	sats := benchShellPopulation(b, 4000)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 60}).Screen(sats); err != nil {
 			b.Fatal(err)
@@ -43,6 +44,7 @@ func BenchmarkNeighborhood_Full26(b *testing.B) {
 
 func BenchmarkNeighborhood_Half13(b *testing.B) {
 	sats := benchShellPopulation(b, 4000)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 60, UseHalfNeighborhood: true}).Screen(sats); err != nil {
 			b.Fatal(err)
@@ -59,6 +61,7 @@ func BenchmarkGridSlotFactor_4(b *testing.B)    { benchSlotFactor(b, 4) }
 func benchSlotFactor(b *testing.B, factor float64) {
 	sats := benchShellPopulation(b, 4000)
 	var avgProbes float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		det := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 30, GridSlotFactor: factor})
 		res, err := det.Screen(sats)

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/filters"
 	"repro/internal/lockfree"
+	"repro/internal/pool"
 	"repro/internal/propagation"
 	"repro/internal/spatial"
 )
@@ -86,6 +87,12 @@ type Config struct {
 	// threshold should cover the position uncertainties). The grid is
 	// sized for the worst pair automatically.
 	Uncertainty UncertaintyMap
+	// Pool supplies the recycled grid/pair/state structures of the run.
+	// nil selects the process-wide pool.Default, so back-to-back runs (and
+	// concurrent server requests) reuse each other's buffers;
+	// pool.Disabled() opts out of all reuse. See pool's package doc for the
+	// ownership rules.
+	Pool *pool.Pool
 }
 
 // Executor abstracts the data-parallel backend of §V-E. The CPU backend
@@ -142,6 +149,13 @@ func (c Config) propagator() propagation.Propagator {
 		return propagation.TwoBody{}
 	}
 	return c.Propagator
+}
+
+func (c Config) pool() *pool.Pool {
+	if c.Pool == nil {
+		return pool.Default
+	}
+	return c.Pool
 }
 
 // Conjunction is one detected close approach: the pair, the sampling step
@@ -240,21 +254,22 @@ var (
 	ErrTooManyIDs = errors.New("core: satellite ID exceeds the pair-set limit")
 )
 
-// validatePopulation checks IDs and returns a lookup from satellite ID to
-// population index. IDs must be unique and within the packed-pair range.
-func validatePopulation(sats []propagation.Satellite) (map[int32]int32, error) {
-	idx := make(map[int32]int32, len(sats))
+// validatePopulation checks IDs and fills idx (which must be empty) with the
+// lookup from satellite ID to population index. IDs must be unique and
+// within the packed-pair range. The map is caller-supplied so a pooled map
+// can serve run after run.
+func validatePopulation(idx map[int32]int32, sats []propagation.Satellite) error {
 	for i := range sats {
 		id := sats[i].ID
 		if id < 0 || id > lockfree.MaxID {
-			return nil, fmt.Errorf("%w: id %d (max %d)", ErrTooManyIDs, id, lockfree.MaxID)
+			return fmt.Errorf("%w: id %d (max %d)", ErrTooManyIDs, id, lockfree.MaxID)
 		}
 		if prev, dup := idx[id]; dup {
-			return nil, fmt.Errorf("core: duplicate satellite ID %d (indices %d and %d)", id, prev, i)
+			return fmt.Errorf("core: duplicate satellite ID %d (indices %d and %d)", id, prev, i)
 		}
 		idx[id] = int32(i)
 	}
-	return idx, nil
+	return nil
 }
 
 // autoHalfExtent sizes the simulation cube to just cover the population's

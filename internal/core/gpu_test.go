@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/gpusim"
+	"repro/internal/pool"
 )
 
 func TestGridOnSimulatedGPUMatchesCPU(t *testing.T) {
@@ -34,6 +35,25 @@ func TestGridOnSimulatedGPUMatchesCPU(t *testing.T) {
 	}
 	if st.BytesH2D == 0 || st.BytesD2H == 0 {
 		t.Errorf("transfer accounting missing: %+v", st)
+	}
+}
+
+// TestGPUDevicePathRestoresPoolBalance: the device executor runs the same
+// pooled pipeline — repeated device runs must reuse buffers and return them.
+func TestGPUDevicePathRestoresPoolBalance(t *testing.T) {
+	sats := engineeredPopulation(t)
+	p := pool.New()
+	cfg := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, Executor: gpusim.SmallDevice(64 << 20), Pool: p}
+	for i := 0; i < 2; i++ {
+		if _, err := NewGrid(cfg).Screen(sats); err != nil {
+			t.Fatal(err)
+		}
+		if out := p.Stats().Outstanding(); out != 0 {
+			t.Fatalf("device run %d left %d pooled structures outstanding", i, out)
+		}
+	}
+	if p.Stats().Hits == 0 {
+		t.Fatal("second device run reused nothing from the warm pool")
 	}
 }
 

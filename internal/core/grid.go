@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/lockfree"
+	"repro/internal/pool"
 	"repro/internal/propagation"
 	"repro/internal/spatial"
 )
@@ -41,6 +42,7 @@ func (d *Grid) Screen(sats []propagation.Satellite) (*Result, error) {
 	if run == nil { // degenerate population (<2 satellites)
 		return res, nil
 	}
+	defer run.release()
 	res.Backend = run.exec.ExecutorName()
 	if err := run.sampleAllSteps(); err != nil {
 		return nil, err
@@ -50,7 +52,7 @@ func (d *Grid) Screen(sats []propagation.Satellite) (*Result, error) {
 	// goes straight to refinement; the interval is the two-cell crossing
 	// rule (§IV-C).
 	tRef := time.Now()
-	pairs := run.pairs.ItemsParallel(run.workers)
+	pairs := run.collectPairs()
 	run.stats.CandidatePairs = len(pairs)
 	conjs := run.refineCandidates(pairs, nil)
 	run.stats.Detection += time.Since(tRef)
@@ -61,8 +63,11 @@ func (d *Grid) Screen(sats []propagation.Satellite) (*Result, error) {
 }
 
 // run holds the shared state of one screening execution (both variants).
+// Its grid set, pair set, state buffer, candidate buffer, and ID index are
+// pooled: release returns them, after which the run must not be used.
 type run struct {
 	cfg         Config
+	pool        *pool.Pool
 	sats        []propagation.Satellite
 	idx         map[int32]int32
 	sps         float64
@@ -72,6 +77,7 @@ type run struct {
 	gset        *lockfree.GridSet
 	pairs       *lockfree.PairSet
 	states      []propagation.State
+	pairBuf     []lockfree.Pair
 	workers     int
 	exec        Executor
 	prop        propagation.Propagator
@@ -80,6 +86,21 @@ type run struct {
 	stats       PhaseStats
 	refiner     *refiner
 	uncertainty UncertaintyMap
+
+	// Per-step inputs of the prebuilt range closures below. Building a
+	// closure inside the step loop costs a heap allocation per step — at a
+	// 1 s sampling step that alone dwarfs the pooled structures' savings —
+	// so the loop instead publishes its step state here and reuses the same
+	// three closures for every step. The executor's fork/join provides the
+	// happens-before edge between these writes and the workers' reads.
+	stepTime  float64
+	scanStep  uint32
+	scanFull  atomic.Bool
+	insertErr atomic.Value
+
+	propagateFn func(lo, hi int)
+	insertFn    func(lo, hi int)
+	scanFn      func(lo, hi int)
 }
 
 // satelliteUploadBytes approximates one satellite's device footprint: the
@@ -93,11 +114,14 @@ func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error)
 	if cfg.DurationSeconds <= 0 {
 		return nil, ErrNoDuration
 	}
-	idx, err := validatePopulation(sats)
-	if err != nil {
+	pl := cfg.pool()
+	idx := pl.GetIDIndex(len(sats))
+	if err := validatePopulation(idx, sats); err != nil {
+		pl.PutIDIndex(idx)
 		return nil, err
 	}
 	if len(sats) < 2 {
+		pl.PutIDIndex(idx)
 		return nil, nil
 	}
 	threshold := cfg.threshold()
@@ -107,6 +131,7 @@ func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error)
 	if cfg.Uncertainty != nil {
 		maxU, err := maxUncertainty(cfg.Uncertainty, sats)
 		if err != nil {
+			pl.PutIDIndex(idx)
 			return nil, err
 		}
 		gridThreshold += 2 * maxU
@@ -118,6 +143,7 @@ func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error)
 	}
 	grid, err := spatial.NewGrid(cellSize, halfExtent)
 	if err != nil {
+		pl.PutIDIndex(idx)
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	slotFactor := cfg.GridSlotFactor
@@ -126,6 +152,7 @@ func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error)
 	}
 	steps := stepCount(cfg.DurationSeconds, sps)
 	if steps-1 > lockfree.MaxStep {
+		pl.PutIDIndex(idx)
 		return nil, fmt.Errorf("core: %d sampling steps exceed the pair-set step limit %d", steps, lockfree.MaxStep)
 	}
 	pairHint := cfg.PairSlotHint
@@ -138,21 +165,25 @@ func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error)
 	}
 	r := &run{
 		cfg:         cfg,
+		pool:        pl,
 		sats:        sats,
 		idx:         idx,
 		sps:         sps,
 		threshold:   threshold,
 		cellSize:    cellSize,
 		grid:        grid,
-		gset:        lockfree.NewGridSet(int(slotFactor*float64(len(sats))), len(sats)),
-		pairs:       lockfree.NewPairSet(pairHint),
-		states:      make([]propagation.State, len(sats)),
+		gset:        pl.GetGridSet(int(slotFactor*float64(len(sats))), len(sats)),
+		pairs:       pl.GetPairSet(pairHint),
+		states:      pl.GetStates(len(sats)),
 		workers:     exec.Workers(),
 		exec:        exec,
 		prop:        cfg.propagator(),
 		steps:       steps,
 		uncertainty: cfg.Uncertainty,
 	}
+	r.propagateFn = r.propagateRange
+	r.insertFn = r.insertRange
+	r.scanFn = r.scanRange
 	r.refiner = newRefiner(r.prop, threshold, cfg.DurationSeconds)
 	r.stats.GridSlots = r.gset.Slots()
 	// Device backends pay the satellite upload once, at allocation time.
@@ -160,6 +191,27 @@ func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error)
 		ta.TransferH2D(int64(len(sats)) * satelliteUploadBytes)
 	}
 	return r, nil
+}
+
+// release returns the run's pooled structures. Both detectors defer it as
+// soon as newRun succeeds, so every exit path — including sampling and
+// refinement errors — restores pool balance. The Result is built from
+// independently allocated memory, so releasing before Screen returns is
+// safe; the run itself must not be used afterwards.
+func (r *run) release() {
+	r.pool.PutGridSet(r.gset)
+	r.pool.PutPairSet(r.pairs)
+	r.pool.PutStates(r.states)
+	r.pool.PutPairBuf(r.pairBuf)
+	r.pool.PutIDIndex(r.idx)
+	r.gset, r.pairs, r.states, r.pairBuf, r.idx = nil, nil, nil, nil, nil
+}
+
+// collectPairs drains the pair set into a pooled buffer owned (and later
+// released) by the run.
+func (r *run) collectPairs() []lockfree.Pair {
+	r.pairBuf = r.pairs.AppendItems(r.pool.GetPairBuf(r.pairs.Len()), r.workers)
+	return r.pairBuf
 }
 
 // sampleAllSteps runs step 2 for every sampling step: propagate, insert,
@@ -171,14 +223,10 @@ func (r *run) sampleAllSteps() error {
 		return r.sampleStepsBatched()
 	}
 	for step := 0; step < r.steps; step++ {
-		t := float64(step) * r.sps
+		r.stepTime = float64(step) * r.sps
 
 		tIns := time.Now()
-		r.exec.ParallelFor(len(r.sats), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				r.states[i].Pos, r.states[i].Vel = r.prop.State(&r.sats[i], t)
-			}
-		})
+		r.exec.ParallelFor(len(r.sats), r.propagateFn)
 		r.gset.ResetParallel(r.workers)
 		if err := r.insertAll(); err != nil {
 			return err
@@ -195,23 +243,44 @@ func (r *run) sampleAllSteps() error {
 	return nil
 }
 
+// propagateRange advances satellites [lo, hi) to the published step time.
+func (r *run) propagateRange(lo, hi int) {
+	t := r.stepTime
+	for i := lo; i < hi; i++ {
+		r.states[i].Pos, r.states[i].Vel = r.prop.State(&r.sats[i], t)
+	}
+}
+
+// insertRange inserts satellites [lo, hi) into the shared grid set. The
+// first failure is latched; a run aborts on it, so the latch never resets.
+func (r *run) insertRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		key, ok := r.grid.KeyOf(r.states[i].Pos)
+		if !ok {
+			r.oob.Add(1)
+			continue
+		}
+		if err := r.gset.Insert(key, int32(i), r.sats[i].ID, r.states[i].Pos); err != nil {
+			r.insertErr.CompareAndSwap(nil, err)
+			return
+		}
+	}
+}
+
+// scanRange scans grid slots [lo, hi) for candidate pairs at the published
+// step, flagging pair-set overflow.
+func (r *run) scanRange(lo, hi int) {
+	scratch := scanScratchPool.Get().(*scanScratch)
+	if r.scanSlots(r.gset, lo, hi, r.scanStep, scratch) {
+		r.scanFull.Store(true)
+	}
+	scanScratchPool.Put(scratch)
+}
+
 // insertAll performs the parallel grid insertion of §IV-A2.
 func (r *run) insertAll() error {
-	var firstErr atomic.Value
-	r.exec.ParallelFor(len(r.sats), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			key, ok := r.grid.KeyOf(r.states[i].Pos)
-			if !ok {
-				r.oob.Add(1)
-				continue
-			}
-			if err := r.gset.Insert(key, int32(i), r.sats[i].ID, r.states[i].Pos); err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				return
-			}
-		}
-	})
-	if err, ok := firstErr.Load().(error); ok {
+	r.exec.ParallelFor(len(r.sats), r.insertFn)
+	if err, ok := r.insertErr.Load().(error); ok {
 		return fmt.Errorf("core: grid insertion: %w", err)
 	}
 	return nil
@@ -223,21 +292,21 @@ func (r *run) insertAll() error {
 // cells. It reports true when the pair set overflowed (caller grows it and
 // re-runs; insertion is idempotent so the retry is safe).
 func (r *run) generateCandidates(step uint32) (overflow bool) {
-	var full atomic.Bool
-	r.exec.ParallelFor(r.gset.Slots(), func(lo, hi int) {
-		var scratch scanScratch
-		if r.scanSlots(r.gset, lo, hi, step, &scratch) {
-			full.Store(true)
-		}
-	})
-	return full.Load()
+	r.scanStep = step
+	r.scanFull.Store(false)
+	r.exec.ParallelFor(r.gset.Slots(), r.scanFn)
+	return r.scanFull.Load()
 }
 
-// scanScratch carries per-worker buffers across scanSlots calls.
+// scanScratch carries per-worker buffers across scanSlots calls. The
+// process-wide free list keeps the steady state from allocating one per
+// worker per step.
 type scanScratch struct {
 	cellIDs []int32
 	nbuf    [26]uint64
 }
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 
 // scanSlots scans slot range [lo, hi) of gs for candidate pairs at the
 // given step, inserting them into the shared pair set. It returns true on
@@ -285,11 +354,13 @@ func (r *run) scanSlots(gs *lockfree.GridSet, lo, hi int, step uint32, scratch *
 	return false
 }
 
-// growPairs doubles the conjunction set, preserving its contents — the
-// §V-B overflow remedy.
+// growPairs swaps the conjunction set for one of at least double the slots,
+// preserving its contents — the §V-B overflow remedy. The replacement comes
+// from the pool (a previously grown set is the common hit), and the full set
+// goes back for the next run that needs its size.
 func (r *run) growPairs() {
 	old := r.pairs
-	bigger := lockfree.NewPairSet(2 * old.Slots())
+	bigger := r.pool.GetPairSet(2 * old.Slots())
 	for _, p := range old.Items(nil) {
 		if _, err := bigger.Insert(p.A, p.B, p.Step); err != nil {
 			// Doubling always fits the existing items; reaching this means
@@ -298,6 +369,7 @@ func (r *run) growPairs() {
 		}
 	}
 	r.pairs = bigger
+	r.pool.PutPairSet(old)
 	r.stats.PairSetGrowths++
 }
 

@@ -59,12 +59,13 @@ func (d *Hybrid) Screen(sats []propagation.Satellite) (*Result, error) {
 	if run == nil {
 		return res, nil
 	}
+	defer run.release()
 	res.Backend = run.exec.ExecutorName()
 	if err := run.sampleAllSteps(); err != nil {
 		return nil, err
 	}
 
-	pairs := run.pairs.ItemsParallel(run.workers)
+	pairs := run.collectPairs()
 	run.stats.CandidatePairs = len(pairs)
 
 	// Step 3: the orbital filter chain, once per distinct satellite pair

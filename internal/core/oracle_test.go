@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mathx"
 	"repro/internal/orbit"
+	"repro/internal/pool"
 	"repro/internal/propagation"
 )
 
@@ -106,9 +107,24 @@ func TestDetectorsAgainstBruteForceOracle(t *testing.T) {
 	}
 	t.Logf("oracle: %d events across %d pairs", len(oracle), len(sats)*(len(sats)-1)/2)
 
+	warmPool := pool.New()
 	detectors := map[string]func([]propagation.Satellite) (*Result, error){
 		"grid":   NewGrid(Config{ThresholdKm: threshold, SecondsPerSample: 1, DurationSeconds: span, Workers: 2}).Screen,
 		"hybrid": NewHybrid(Config{ThresholdKm: threshold, DurationSeconds: span, Workers: 2}).Screen,
+		"grid-batched": NewGrid(Config{ThresholdKm: threshold, SecondsPerSample: 1, DurationSeconds: span,
+			Workers: 2, ParallelSteps: 8}).Screen,
+		"hybrid-batched": NewHybrid(Config{ThresholdKm: threshold, DurationSeconds: span,
+			Workers: 2, ParallelSteps: 4}).Screen,
+		// Second run on a private warm pool: the whole pipeline executes
+		// from recycled structures and must match the oracle identically.
+		"grid-warm-pool": func(s []propagation.Satellite) (*Result, error) {
+			det := NewGrid(Config{ThresholdKm: threshold, SecondsPerSample: 1, DurationSeconds: span,
+				Workers: 2, Pool: warmPool})
+			if _, err := det.Screen(s); err != nil {
+				return nil, err
+			}
+			return det.Screen(s)
+		},
 	}
 	for name, screen := range detectors {
 		res, err := screen(sats)

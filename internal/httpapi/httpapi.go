@@ -7,6 +7,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -14,15 +15,16 @@ import (
 
 	satconj "repro"
 	"repro/internal/orbit"
+	"repro/internal/pool"
 )
 
 // Version is reported by GET /v1/version.
 const Version = "1.0.0"
 
-// maxRequestBytes bounds request bodies (a 1M-object population in JSON is
+// defaultMaxBody bounds request bodies (a 1M-object population in JSON is
 // ~200 MB; default limit is far below that — operators batch-load via TLE
 // files, not JSON).
-const maxRequestBytes = 64 << 20
+const defaultMaxBody = 64 << 20
 
 // ElementsJSON is one object's orbit in the request body.
 type ElementsJSON struct {
@@ -98,16 +100,28 @@ type Handler struct {
 	mux *http.ServeMux
 	// MaxObjects bounds accepted population sizes (0 = 100,000).
 	maxObjects int
+	// maxBody bounds request body bytes.
+	maxBody int64
 }
 
 // New returns a ready-to-serve handler. maxObjects ≤ 0 selects 100,000.
 func New(maxObjects int) *Handler {
+	return NewWithLimits(maxObjects, defaultMaxBody)
+}
+
+// NewWithLimits additionally sets the request-body byte limit (≤ 0 selects
+// the 64 MiB default); bodies beyond it get 413.
+func NewWithLimits(maxObjects int, maxBody int64) *Handler {
 	if maxObjects <= 0 {
 		maxObjects = 100000
 	}
-	h := &Handler{mux: http.NewServeMux(), maxObjects: maxObjects}
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	h := &Handler{mux: http.NewServeMux(), maxObjects: maxObjects, maxBody: maxBody}
 	h.mux.HandleFunc("GET /v1/health", h.health)
 	h.mux.HandleFunc("GET /v1/version", h.version)
+	h.mux.HandleFunc("GET /v1/pool", h.poolStats)
 	h.mux.HandleFunc("POST /v1/screen", h.screen)
 	return h
 }
@@ -126,12 +140,34 @@ func (h *Handler) version(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// poolStats reports the shared buffer pool's counters — screening requests
+// draw their grid/pair/state structures from pool.Default, so outstanding
+// should return to 0 whenever the server is idle.
+func (h *Handler) poolStats(w http.ResponseWriter, _ *http.Request) {
+	st := pool.Default.Stats()
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"gets":        st.Gets,
+		"puts":        st.Puts,
+		"hits":        st.Hits,
+		"outstanding": st.Outstanding(),
+	})
+}
+
 func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
 	var req ScreenRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorJSON{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if status, err := validateScreenRequest(req); err != nil {
+		writeJSON(w, status, errorJSON{Error: err.Error()})
 		return
 	}
 
@@ -190,12 +226,34 @@ func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// validateScreenRequest rejects parameter values the detectors would either
+// error on later or silently coerce to defaults (a negative threshold would
+// otherwise screen at the default 2 km — surprising, so it is refused).
+func validateScreenRequest(req ScreenRequest) (int, error) {
+	switch {
+	case req.DurationSeconds <= 0:
+		return http.StatusUnprocessableEntity, fmt.Errorf("duration_seconds must be positive, got %g", req.DurationSeconds)
+	case req.ThresholdKm < 0:
+		return http.StatusUnprocessableEntity, fmt.Errorf("threshold_km must not be negative, got %g", req.ThresholdKm)
+	case req.SecondsPerSample < 0:
+		return http.StatusUnprocessableEntity, fmt.Errorf("seconds_per_sample must not be negative, got %g", req.SecondsPerSample)
+	case req.EventTolSeconds < 0:
+		return http.StatusUnprocessableEntity, fmt.Errorf("event_tol_seconds must not be negative, got %g", req.EventTolSeconds)
+	case req.SigmaKm < 0:
+		return http.StatusUnprocessableEntity, fmt.Errorf("sigma_km must not be negative, got %g", req.SigmaKm)
+	}
+	return 0, nil
+}
+
 // population materialises the request's population.
 func (h *Handler) population(req ScreenRequest) ([]satconj.Satellite, int, error) {
 	switch {
 	case req.Generate != nil && len(req.Satellites) > 0:
 		return nil, http.StatusBadRequest, fmt.Errorf("supply either satellites or generate, not both")
 	case req.Generate != nil:
+		if req.Generate.N <= 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("generate.n must be positive, got %d", req.Generate.N)
+		}
 		if req.Generate.N > h.maxObjects {
 			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("population %d exceeds server limit %d", req.Generate.N, h.maxObjects)
 		}

@@ -6,10 +6,12 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/mathx"
 	"repro/internal/orbit"
+	"repro/internal/pool"
 )
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body interface{}) *httptest.ResponseRecorder {
@@ -127,6 +129,100 @@ func TestScreenValidation(t *testing.T) {
 		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
 			t.Errorf("%s: error body missing: %s", c.name, rec.Body.String())
 		}
+	}
+}
+
+// TestScreenErrorPaths drives every request-rejection path — malformed
+// bodies, empty and oversized populations, invalid screening parameters,
+// and a pipeline failure deep enough to have acquired pooled structures —
+// and asserts both the status code and that the shared buffer pool balances
+// back to its starting level: an error reply must never strand a pooled
+// grid set.
+func TestScreenErrorPaths(t *testing.T) {
+	h := NewWithLimits(50, 2048)
+	before := pool.Default.Stats().Outstanding()
+
+	dupSats := crossingPairJSON(1)
+	dupSats[1].ID = dupSats[0].ID
+
+	cases := []struct {
+		name string
+		body string // raw JSON (invalid bodies can't be built from the struct)
+		code int
+	}{
+		{"malformed json", `{"duration_seconds": 10,`, http.StatusBadRequest},
+		{"wrong field type", `{"duration_seconds": "ten"}`, http.StatusBadRequest},
+		{"unknown field", `{"duration_seconds": 10, "frobnicate": true}`, http.StatusBadRequest},
+		{"empty body", ``, http.StatusBadRequest},
+		{"oversized body", `{"pad": "` + strings.Repeat("x", 4096) + `"}`, http.StatusRequestEntityTooLarge},
+		{"no population", mustJSON(t, ScreenRequest{DurationSeconds: 10}), http.StatusBadRequest},
+		{"empty satellites", `{"satellites": [], "duration_seconds": 10}`, http.StatusBadRequest},
+		{"zero generate", mustJSON(t, ScreenRequest{Generate: &GenerateJSON{N: 0}, DurationSeconds: 10}), http.StatusBadRequest},
+		{"negative generate", mustJSON(t, ScreenRequest{Generate: &GenerateJSON{N: -5}, DurationSeconds: 10}), http.StatusBadRequest},
+		{"generate over limit", mustJSON(t, ScreenRequest{Generate: &GenerateJSON{N: 51}, DurationSeconds: 10}), http.StatusRequestEntityTooLarge},
+		{"zero duration", mustJSON(t, ScreenRequest{Satellites: crossingPairJSON(1)}), http.StatusUnprocessableEntity},
+		{"negative duration", mustJSON(t, ScreenRequest{Satellites: crossingPairJSON(1), DurationSeconds: -60}), http.StatusUnprocessableEntity},
+		{"negative threshold", mustJSON(t, ScreenRequest{Satellites: crossingPairJSON(1), DurationSeconds: 10, ThresholdKm: -2}), http.StatusUnprocessableEntity},
+		{"negative sample step", mustJSON(t, ScreenRequest{Satellites: crossingPairJSON(1), DurationSeconds: 10, SecondsPerSample: -1}), http.StatusUnprocessableEntity},
+		{"negative event tolerance", mustJSON(t, ScreenRequest{Satellites: crossingPairJSON(1), DurationSeconds: 10, EventTolSeconds: -1}), http.StatusUnprocessableEntity},
+		{"negative sigma", mustJSON(t, ScreenRequest{Satellites: crossingPairJSON(1), DurationSeconds: 10, SigmaKm: -0.5}), http.StatusUnprocessableEntity},
+		{"duplicate satellite ids", mustJSON(t, ScreenRequest{Satellites: dupSats, DurationSeconds: 10}), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req := httptest.NewRequest("POST", "/v1/screen", strings.NewReader(c.body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != c.code {
+				t.Errorf("status %d, want %d (%s)", rec.Code, c.code, rec.Body.String())
+			}
+			var e errorJSON
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Errorf("error body missing: %s", rec.Body.String())
+			}
+			if out := pool.Default.Stats().Outstanding(); out != before {
+				t.Errorf("pooled structures outstanding went %d -> %d", before, out)
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, v interface{}) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPoolEndpointObservesScreening: /v1/pool must show screening traffic
+// (gets/puts advance) and an idle server must owe the pool nothing.
+func TestPoolEndpointObservesScreening(t *testing.T) {
+	h := New(0)
+	before := pool.Default.Stats()
+	rec := doJSON(t, h, "POST", "/v1/screen", ScreenRequest{
+		Satellites:      crossingPairJSON(300),
+		Variant:         "grid",
+		ThresholdKm:     2,
+		DurationSeconds: 600,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("screen status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = doJSON(t, h, "GET", "/v1/pool", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pool status %d", rec.Code)
+	}
+	var st map[string]int64
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["gets"] <= before.Gets {
+		t.Errorf("gets did not advance: %v (before %d)", st, before.Gets)
+	}
+	if st["outstanding"] != 0 {
+		t.Errorf("idle server owes the pool %d structures", st["outstanding"])
 	}
 }
 

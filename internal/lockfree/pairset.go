@@ -174,11 +174,26 @@ func (p *PairSet) Items(dst []Pair) []Pair {
 // slot order. For multi-million-slot sets the scan is memory-bound and
 // benefits from parallel sweeping.
 func (p *PairSet) ItemsParallel(workers int) []Pair {
+	return p.AppendItems(nil, workers)
+}
+
+// AppendItems appends every stored pair to dst and returns it, sweeping the
+// slots with the given worker count. Unlike ItemsParallel it fills the
+// caller's buffer, so handing it a presized dst (cap ≥ Len) makes the
+// collection allocation-free — the refine stage's pooled candidate buffers
+// depend on this. The set must be quiesced (no concurrent Insert); order is
+// slot order, matching Items.
+func (p *PairSet) AppendItems(dst []Pair, workers int) []Pair {
 	if workers <= 1 || len(p.slots) < 1<<14 {
-		return p.Items(nil)
+		return p.Items(dst)
 	}
 	chunk := (len(p.slots) + workers - 1) / workers
-	parts := make([][]Pair, workers)
+	if workers > len(p.slots) {
+		workers = len(p.slots)
+	}
+	// Pass 1: count occupied slots per chunk so pass 2 can write each
+	// chunk's pairs at a fixed offset with no per-worker buffers.
+	counts := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -191,19 +206,53 @@ func (p *PairSet) ItemsParallel(workers int) []Pair {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			var out []Pair
+			n := 0
 			for i := lo; i < hi; i++ {
-				if k := p.slots[i].Load(); k != EmptySlot {
-					out = append(out, UnpackPair(k))
+				if p.slots[i].Load() != EmptySlot {
+					n++
 				}
 			}
-			parts[w] = out
+			counts[w] = n
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	var all []Pair
-	for _, part := range parts {
-		all = append(all, part...)
+	base := len(dst)
+	total := 0
+	for w, c := range counts {
+		counts[w] = total // counts becomes the chunk's write offset
+		total += c
 	}
-	return all
+	if cap(dst) < base+total {
+		grown := make([]Pair, base, base+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+total]
+	// Pass 2: decode each chunk into its offset range. The bound guards a
+	// violated quiescence precondition from corrupting a neighbour's range.
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(p.slots) {
+			hi = len(p.slots)
+		}
+		if lo >= hi {
+			break
+		}
+		end := base + total
+		if w+1 < workers {
+			end = base + counts[w+1]
+		}
+		wg.Add(1)
+		go func(lo, hi, at, end int) {
+			defer wg.Done()
+			for i := lo; i < hi && at < end; i++ {
+				if k := p.slots[i].Load(); k != EmptySlot {
+					dst[at] = UnpackPair(k)
+					at++
+				}
+			}
+		}(lo, hi, base+counts[w], end)
+	}
+	wg.Wait()
+	return dst
 }

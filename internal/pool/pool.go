@@ -1,0 +1,362 @@
+// Package pool recycles the screening pipeline's large per-run structures —
+// grid hash sets, conjunction pair sets, propagation state buffers,
+// candidate-pair buffers and ID-index maps — across sampling steps, runs and
+// concurrent HTTP requests.
+//
+// The paper's pipeline allocates everything up front (step 1 of §III) and
+// then mutates in place; what it never does is hold allocations across
+// *runs*. For a long-running service screening window after window that
+// re-allocation is pure GC pressure: the structures of one window are
+// exactly the structures the next window needs. Pool closes that loop with
+// capacity-aware freelists — a Get returns a previously released structure
+// whose capacity fits the request (best-fit, within a bounded oversize
+// window so a million-slot set is never wasted on a thousand-object run),
+// or allocates fresh when nothing fits.
+//
+// # Ownership and lifetime invariants
+//
+//   - A Get transfers exclusive ownership to the caller; a Put transfers it
+//     back. Using a structure after Put, or putting it twice, is a data
+//     race — exactly like free().
+//   - GridSets are returned from Get in an unspecified fill state; callers
+//     must Reset before relying on emptiness. (The detectors reset the grid
+//     at the start of every sampling step anyway, so this costs nothing.)
+//   - PairSets are returned from Get empty: Get resets them, because the
+//     detectors accumulate candidates across all steps of a run and never
+//     reset mid-run.
+//   - State and Pair buffers are returned with stale contents; State
+//     buffers are fully overwritten by the propagation phase before any
+//     read, Pair buffers are handed out with length 0.
+//   - ID-index maps are cleared on Put.
+//
+// All methods are safe for concurrent use; the freelists are small
+// mutex-protected stacks (Get/Put are rare — per run, not per step — so
+// lock-freedom buys nothing here; the lock-free structures themselves live
+// in package lockfree).
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lockfree"
+	"repro/internal/propagation"
+)
+
+// Per-kind idle caps: a batched run holds ParallelSteps private grids, so
+// the grid freelist must absorb a whole batch; maps retain their buckets
+// forever, so only a few are kept.
+const (
+	maxIdleGridSets = 64
+	maxIdlePairSets = 16
+	maxIdleBuffers  = 16
+	maxIdleIndexes  = 8
+)
+
+// oversizeFactor bounds how much larger than requested a reused structure
+// may be: resetting (and scanning) a structure costs O(capacity), so
+// handing a 1M-slot set to a 1k-slot request would make every step pay for
+// capacity the run cannot use.
+const oversizeFactor = 8
+
+// Pool is a set of capacity-aware freelists. The zero value is not ready;
+// use New, Default, or Disabled.
+type Pool struct {
+	disabled bool
+
+	mu       sync.Mutex
+	gridSets []*lockfree.GridSet
+	pairSets []*lockfree.PairSet
+	states   [][]propagation.State
+	pairBufs [][]lockfree.Pair
+	indexes  []map[int32]int32
+
+	gets atomic.Int64
+	puts atomic.Int64
+	hits atomic.Int64
+}
+
+// Default is the process-wide shared pool: every screening run that does
+// not supply its own pool draws from (and releases to) this one, which is
+// what lets concurrent HTTP requests share warm buffers.
+var Default = New()
+
+// New returns an empty pool.
+func New() *Pool { return &Pool{} }
+
+// Disabled returns a pool whose Get always allocates fresh and whose Put
+// discards — the pre-pooling behaviour, kept for baseline benchmarks and
+// for callers that must not retain memory between runs. Get/Put counters
+// still work, so leak (balance) checks remain valid.
+func Disabled() *Pool { return &Pool{disabled: true} }
+
+// Stats is a snapshot of the pool counters.
+type Stats struct {
+	Gets int64 // structures handed out
+	Puts int64 // structures returned
+	Hits int64 // gets served from a freelist instead of allocating
+}
+
+// Outstanding returns the number of structures currently held by callers.
+// A quiesced pipeline must always return to Outstanding() == 0; the
+// regression tests assert it on every exit path, including errors.
+func (s Stats) Outstanding() int64 { return s.Gets - s.Puts }
+
+// Stats returns the counter snapshot.
+func (p *Pool) Stats() Stats {
+	return Stats{Gets: p.gets.Load(), Puts: p.puts.Load(), Hits: p.hits.Load()}
+}
+
+// Drain discards every idle structure, releasing the retained memory to the
+// GC. Outstanding structures are unaffected.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	p.gridSets = nil
+	p.pairSets = nil
+	p.states = nil
+	p.pairBufs = nil
+	p.indexes = nil
+	p.mu.Unlock()
+}
+
+// nextPow2 mirrors the rounding of lockfree.NewGridSet / NewPairSet so fit
+// checks compare like with like.
+func nextPow2(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// GetGridSet returns a grid set with at least slotHint slots (rounded up to
+// a power of two) and room for maxEntries entries. The set's fill state is
+// unspecified; Reset before relying on emptiness.
+func (p *Pool) GetGridSet(slotHint, maxEntries int) *lockfree.GridSet {
+	p.gets.Add(1)
+	if !p.disabled {
+		want := nextPow2(slotHint)
+		p.mu.Lock()
+		best := -1
+		for i, g := range p.gridSets {
+			if g.Slots() < want || g.EntryCapacity() < maxEntries || g.Slots() > oversizeFactor*want {
+				continue
+			}
+			if best < 0 || g.Slots() < p.gridSets[best].Slots() {
+				best = i
+			}
+		}
+		if best >= 0 {
+			g := p.takeGridSet(best)
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return g
+		}
+		p.mu.Unlock()
+	}
+	return lockfree.NewGridSet(slotHint, maxEntries)
+}
+
+func (p *Pool) takeGridSet(i int) *lockfree.GridSet {
+	g := p.gridSets[i]
+	last := len(p.gridSets) - 1
+	p.gridSets[i] = p.gridSets[last]
+	p.gridSets[last] = nil
+	p.gridSets = p.gridSets[:last]
+	return g
+}
+
+// PutGridSet returns a grid set to the pool. nil is ignored.
+func (p *Pool) PutGridSet(g *lockfree.GridSet) {
+	if g == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.gridSets) < maxIdleGridSets {
+		p.gridSets = append(p.gridSets, g)
+	}
+	p.mu.Unlock()
+}
+
+// GetPairSet returns an empty pair set with at least slotHint slots
+// (rounded up to a power of two).
+func (p *Pool) GetPairSet(slotHint int) *lockfree.PairSet {
+	p.gets.Add(1)
+	if !p.disabled {
+		want := nextPow2(slotHint)
+		p.mu.Lock()
+		best := -1
+		for i, ps := range p.pairSets {
+			if ps.Slots() < want || ps.Slots() > oversizeFactor*want {
+				continue
+			}
+			if best < 0 || ps.Slots() < p.pairSets[best].Slots() {
+				best = i
+			}
+		}
+		if best >= 0 {
+			ps := p.pairSets[best]
+			last := len(p.pairSets) - 1
+			p.pairSets[best] = p.pairSets[last]
+			p.pairSets[last] = nil
+			p.pairSets = p.pairSets[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			ps.Reset()
+			return ps
+		}
+		p.mu.Unlock()
+	}
+	return lockfree.NewPairSet(slotHint)
+}
+
+// PutPairSet returns a pair set to the pool. nil is ignored.
+func (p *Pool) PutPairSet(ps *lockfree.PairSet) {
+	if ps == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.pairSets) < maxIdlePairSets {
+		p.pairSets = append(p.pairSets, ps)
+	}
+	p.mu.Unlock()
+}
+
+// GetStates returns a state buffer of length n with stale contents; the
+// propagation phase overwrites every element before anything reads it.
+func (p *Pool) GetStates(n int) []propagation.State {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		best := -1
+		for i, s := range p.states {
+			if cap(s) < n || cap(s) > oversizeFactor*(n+1) {
+				continue
+			}
+			if best < 0 || cap(s) < cap(p.states[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			s := p.states[best]
+			last := len(p.states) - 1
+			p.states[best] = p.states[last]
+			p.states[last] = nil
+			p.states = p.states[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return s[:n]
+		}
+		p.mu.Unlock()
+	}
+	return make([]propagation.State, n)
+}
+
+// PutStates returns a state buffer to the pool. nil is ignored.
+func (p *Pool) PutStates(s []propagation.State) {
+	if s == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.states) < maxIdleBuffers {
+		p.states = append(p.states, s)
+	}
+	p.mu.Unlock()
+}
+
+// GetPairBuf returns a zero-length candidate-pair buffer with capacity at
+// least capHint.
+func (p *Pool) GetPairBuf(capHint int) []lockfree.Pair {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		best := -1
+		for i, b := range p.pairBufs {
+			if cap(b) < capHint {
+				continue
+			}
+			if best < 0 || cap(b) < cap(p.pairBufs[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			b := p.pairBufs[best]
+			last := len(p.pairBufs) - 1
+			p.pairBufs[best] = p.pairBufs[last]
+			p.pairBufs[last] = nil
+			p.pairBufs = p.pairBufs[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return b[:0]
+		}
+		p.mu.Unlock()
+	}
+	return make([]lockfree.Pair, 0, capHint)
+}
+
+// PutPairBuf returns a candidate buffer to the pool. nil is ignored.
+func (p *Pool) PutPairBuf(b []lockfree.Pair) {
+	if b == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.pairBufs) < maxIdleBuffers {
+		p.pairBufs = append(p.pairBufs, b)
+	}
+	p.mu.Unlock()
+}
+
+// GetIDIndex returns an empty satellite-ID → population-index map with
+// room for about sizeHint entries.
+func (p *Pool) GetIDIndex(sizeHint int) map[int32]int32 {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		if n := len(p.indexes); n > 0 {
+			m := p.indexes[n-1]
+			p.indexes[n-1] = nil
+			p.indexes = p.indexes[:n-1]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return m
+		}
+		p.mu.Unlock()
+	}
+	return make(map[int32]int32, sizeHint)
+}
+
+// PutIDIndex clears the map and returns it to the pool. nil is ignored.
+func (p *Pool) PutIDIndex(m map[int32]int32) {
+	if m == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	clear(m)
+	p.mu.Lock()
+	if len(p.indexes) < maxIdleIndexes {
+		p.indexes = append(p.indexes, m)
+	}
+	p.mu.Unlock()
+}

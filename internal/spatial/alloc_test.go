@@ -1,0 +1,40 @@
+package spatial
+
+import (
+	"testing"
+
+	"repro/internal/vec3"
+)
+
+// The scan stage calls KeyOf/CoordOf once per object per step and
+// NeighborKeys/HalfNeighborKeys once per occupied cell per step, with the
+// destination slice recycled from per-worker scratch (see
+// core.scanScratch). The steady-state allocation budget in internal/core
+// relies on these staying allocation-free when given adequate capacity —
+// pin that here, next to the implementation.
+func TestHotPathHelpersDoNotAllocate(t *testing.T) {
+	g, err := NewGrid(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := vec3.V{X: 7000, Y: -3.5, Z: 42}
+	c, ok := g.CoordOf(pos)
+	if !ok {
+		t.Fatal("position out of range")
+	}
+	dst := make([]uint64, 0, 32)
+	for name, fn := range map[string]func(){
+		"KeyOf":   func() { _, _ = g.KeyOf(pos) },
+		"CoordOf": func() { _, _ = g.CoordOf(pos) },
+		"NeighborKeys": func() {
+			dst = g.NeighborKeys(c, dst[:0])
+		},
+		"HalfNeighborKeys": func() {
+			dst = g.HalfNeighborKeys(c, dst[:0])
+		},
+	} {
+		if avg := testing.AllocsPerRun(100, fn); avg > 0 {
+			t.Errorf("%s allocates %.1f times per call with pre-sized dst", name, avg)
+		}
+	}
+}

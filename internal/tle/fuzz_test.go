@@ -1,0 +1,86 @@
+package tle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/orbit"
+)
+
+// FuzzTLEParse throws arbitrary line pairs at Parse. The core property is
+// that Parse never panics — it either returns a TLE or a *ParseError. When
+// it does accept input, the derived orbit and epoch must be computable, and
+// inputs whose fields fit Format's fixed-width columns must survive a
+// Format→Parse round trip.
+func FuzzTLEParse(f *testing.F) {
+	// Canonical valid set (the ISS example used across the package tests).
+	f.Add(issLine1, issLine2)
+	// A synthesised set exercises Format's own column layout as a seed.
+	gen := FromElements(42, "", orbit.Elements{
+		SemiMajorAxis: 7000, Eccentricity: 0.001, Inclination: 0.9,
+		RAAN: 1.2, ArgPerigee: 2.1, MeanAnomaly: 0.4,
+	})
+	g1, g2 := gen.Format()
+	f.Add(g1, g2)
+	// Structured near-misses steer the mutator at the interesting edges:
+	// bad checksums, truncation, swapped lines, non-numeric fields.
+	f.Add(issLine1[:67], issLine2)
+	f.Add(issLine2, issLine1)
+	f.Add(strings.Replace(issLine1, "25544", "2554X", 1), issLine2)
+	f.Add("1", "2")
+	f.Add("", "")
+
+	f.Fuzz(func(t *testing.T, line1, line2 string) {
+		tl, err := Parse(line1, line2)
+		if err != nil {
+			return
+		}
+		// Accepted input must yield a usable satellite without panicking.
+		_ = tl.Elements()
+		_ = tl.EpochTime()
+
+		// Round-trip property, guarded to values Format's fixed columns can
+		// represent. ParseFloat can return ±Inf without error (e.g. "9e999"
+		// in a float field), and out-of-column magnitudes shift Format's
+		// layout, so those inputs only get the no-panic guarantee above.
+		for _, v := range []float64{tl.EpochDay, tl.Inclination, tl.RAAN, tl.ArgPerigee, tl.MeanAnomaly, tl.MeanMotion, tl.Eccentricity, tl.BStar} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		if tl.CatalogNumber < 1 || tl.CatalogNumber > 99999 {
+			return
+		}
+		if tl.EpochDay < 0 || tl.EpochDay >= 999 {
+			return
+		}
+		for _, ang := range []float64{tl.Inclination, tl.RAAN, tl.ArgPerigee, tl.MeanAnomaly} {
+			if ang < 0 || ang >= 999 {
+				return
+			}
+		}
+		if tl.Eccentricity < 0 || tl.Eccentricity > 0.9999999 {
+			return
+		}
+		if tl.MeanMotion < 0 || tl.MeanMotion >= 99.99 {
+			return
+		}
+		if bs := math.Abs(tl.BStar); bs > 0 && (bs < 1e-9 || bs >= 1) {
+			return
+		}
+		l1, l2 := tl.Format()
+		back, err := Parse(l1, l2)
+		if err != nil {
+			t.Fatalf("re-parse of formatted TLE failed: %v\nl1=%q\nl2=%q", err, l1, l2)
+		}
+		if back.CatalogNumber != tl.CatalogNumber {
+			t.Fatalf("catalog number round trip: %d → %d", tl.CatalogNumber, back.CatalogNumber)
+		}
+		if math.Abs(back.Inclination-tl.Inclination) > 1e-3 ||
+			math.Abs(back.MeanMotion-tl.MeanMotion) > 1e-6 ||
+			math.Abs(back.Eccentricity-tl.Eccentricity) > 1e-6 {
+			t.Fatalf("orbit round trip drifted: %+v → %+v", tl, back)
+		}
+	})
+}
