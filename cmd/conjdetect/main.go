@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	satconj "repro"
@@ -36,8 +40,16 @@ func main() {
 		cdmFile   = flag.String("cdm", "", "write CCSDS Conjunction Data Messages to this file ('-' = stdout)")
 		sigma     = flag.Float64("sigma", 0, "per-object position uncertainty (km); widens the screen and enables the Pc column")
 		hardBody  = flag.Float64("hard-body", 0.01, "combined hard-body radius (km) for the Pc column")
+		progress  = flag.Bool("progress", false, "print per-phase and sampling progress to stderr while screening")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the run through the pipeline's context plumbing: the
+	// screen unwinds within about one sampling step, pooled structures are
+	// returned, and conjdetect exits non-zero with a clean message instead
+	// of being killed mid-run. A second Ctrl-C kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	sats, err := loadPopulation(*tleFile, *n, *seed)
 	if err != nil {
@@ -59,10 +71,17 @@ func main() {
 	if *sigma > 0 {
 		opts.Uncertainty = satconj.UniformUncertainty(*sigma)
 	}
+	if *progress {
+		opts.Observer = progressObserver(os.Stderr)
+	}
 
 	start := time.Now()
-	res, err := satconj.Screen(sats, opts)
+	res, err := satconj.ScreenContext(ctx, sats, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "conjdetect: interrupted, run cancelled cleanly")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "conjdetect:", err)
 		os.Exit(1)
 	}
@@ -136,6 +155,40 @@ func main() {
 	}
 	if st.OutOfBounds > 0 {
 		fmt.Printf("out-of-cube samples: %d\n", st.OutOfBounds)
+	}
+}
+
+// progressObserver renders pipeline progress on w: a carriage-return
+// step counter during sampling (thinned to ~every 2% of the run) and one
+// line per finished phase. Observer calls are serialised by the pipeline,
+// so no locking is needed here.
+func progressObserver(w *os.File) satconj.Observer {
+	sampling := false
+	return satconj.ObserverFuncs{
+		Step: func(s satconj.StepInfo) {
+			every := s.Steps / 50
+			if every < 1 {
+				every = 1
+			}
+			if s.Completed%every == 0 || s.Completed == s.Steps {
+				fmt.Fprintf(w, "\rsampling %d/%d steps  pairs=%d", s.Completed, s.Steps, s.PairSetLen)
+				sampling = true
+			}
+		},
+		Phase: func(p satconj.PhaseInfo) {
+			if sampling {
+				fmt.Fprintln(w)
+				sampling = false
+			}
+			switch p.Phase {
+			case satconj.PhaseAllocate:
+				fmt.Fprintf(w, "phase %-8s %8.1f ms\n", p.Phase, p.Elapsed.Seconds()*1e3)
+			case satconj.PhaseSample, satconj.PhaseFilter:
+				fmt.Fprintf(w, "phase %-8s %8.1f ms  candidates=%d\n", p.Phase, p.Elapsed.Seconds()*1e3, p.Candidates)
+			case satconj.PhaseRefine:
+				fmt.Fprintf(w, "phase %-8s %8.1f ms  conjunctions=%d\n", p.Phase, p.Elapsed.Seconds()*1e3, p.Conjunctions)
+			}
+		},
 	}
 }
 

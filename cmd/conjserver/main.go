@@ -28,9 +28,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/httpapi"
@@ -41,16 +46,53 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		maxObjects = flag.Int("max-objects", 100000, "largest accepted population")
 		maxBody    = flag.Int64("max-body-bytes", 0, "request body byte limit (0 = 64 MiB default)")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline before in-flight screens are cancelled")
 	)
 	flag.Parse()
+
+	// Two-stage shutdown: SIGINT/SIGTERM stops accepting connections and
+	// lets in-flight screens drain; past the drain deadline baseCancel
+	// cancels every request context, which unwinds running screens through
+	// the pipeline's cooperative-cancellation plumbing (pool balance holds
+	// on that path too).
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           httpapi.NewWithLimits(*maxObjects, *maxBody),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("conjserver %s listening on %s (max objects %d)", httpapi.Version, *addr, *maxObjects)
-	if err := srv.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-sigCtx.Done():
 	}
+	stop() // restore default signal behaviour: a second signal kills immediately
+	log.Printf("conjserver: shutting down, draining for up to %v", *drain)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Drain expired: cancel the in-flight screens' contexts and give
+		// them a moment to unwind cleanly.
+		log.Printf("conjserver: drain deadline passed, cancelling in-flight screens")
+		baseCancel()
+		shutdownCtx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		err = srv.Shutdown(shutdownCtx2)
+	}
+	if err != nil {
+		log.Fatalf("conjserver: shutdown: %v", err)
+	}
+	log.Printf("conjserver: stopped")
 }

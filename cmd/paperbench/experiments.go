@@ -70,7 +70,7 @@ func runFig2(ctx *benchCtx) error {
 		return err
 	}
 
-	res, err := satconj.Screen(sats, satconj.Options{
+	res, _, err := screenTimed(ctx, sats, satconj.Options{
 		Variant: satconj.VariantGrid, ThresholdKm: 50, DurationSeconds: span,
 	})
 	if err != nil {
@@ -162,7 +162,7 @@ func runEq34(ctx *benchCtx) error {
 			for _, sps := range spsValues {
 				for _, span := range []float64{300, 600} {
 					for _, d := range []float64{2, 4, 8} {
-						res, err := satconj.Screen(sats, satconj.Options{
+						res, _, err := screenTimed(ctx, sats, satconj.Options{
 							Variant: variant, ThresholdKm: d,
 							DurationSeconds: span, SecondsPerSample: sps,
 						})
@@ -221,10 +221,28 @@ type variantRun struct {
 	run  func(sats []satconj.Satellite) (*satconj.Result, time.Duration, error)
 }
 
-func screenTimed(sats []satconj.Satellite, o satconj.Options) (*satconj.Result, time.Duration, error) {
+// screenTimed measures one screening run — wall time plus the heap
+// allocation delta — logging it for -benchjson. The run is cancellable
+// through the shared SIGINT context.
+func screenTimed(ctx *benchCtx, sats []satconj.Satellite, o satconj.Options) (*satconj.Result, time.Duration, error) {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := satconj.Screen(sats, o)
-	return res, time.Since(start), err
+	res, err := satconj.ScreenContext(ctx.runCtx(), sats, o)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, elapsed, err
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	ctx.records = append(ctx.records, benchRecord{
+		Variant:     string(res.Variant),
+		Backend:     res.Backend,
+		Objects:     len(sats),
+		WallSeconds: elapsed.Seconds(),
+		Allocs:      after.Mallocs - before.Mallocs,
+	})
+	return res, elapsed, nil
 }
 
 func fig10Variants(ctx *benchCtx, includeLegacy bool, legacyCap int) []variantRun {
@@ -233,24 +251,24 @@ func fig10Variants(ctx *benchCtx, includeLegacy bool, legacyCap int) []variantRu
 		{"grid-cpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
 			o := base
 			o.Variant = satconj.VariantGrid
-			return screenTimed(s, o)
+			return screenTimed(ctx, s, o)
 		}},
 		{"hybrid-cpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
 			o := base
 			o.Variant = satconj.VariantHybrid
-			return screenTimed(s, o)
+			return screenTimed(ctx, s, o)
 		}},
 		{"grid-sim-gpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
 			o := base
 			o.Variant = satconj.VariantGrid
 			o.Device = satconj.SimulatedRTX3090()
-			return screenTimed(s, o)
+			return screenTimed(ctx, s, o)
 		}},
 		{"hybrid-sim-gpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
 			o := base
 			o.Variant = satconj.VariantHybrid
 			o.Device = satconj.SimulatedRTX3090()
-			return screenTimed(s, o)
+			return screenTimed(ctx, s, o)
 		}},
 	}
 	if includeLegacy {
@@ -261,7 +279,7 @@ func fig10Variants(ctx *benchCtx, includeLegacy bool, legacyCap int) []variantRu
 				}
 				o := base
 				o.Variant = satconj.VariantLegacy
-				return screenTimed(s, o)
+				return screenTimed(ctx, s, o)
 			}},
 			{"sieve", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
 				if len(s) > legacyCap {
@@ -269,7 +287,7 @@ func fig10Variants(ctx *benchCtx, includeLegacy bool, legacyCap int) []variantRu
 				}
 				o := base
 				o.Variant = satconj.VariantSieve
-				return screenTimed(s, o)
+				return screenTimed(ctx, s, o)
 			}},
 		}, vs...)
 	}
@@ -314,7 +332,7 @@ func runCube(ctx *benchCtx) error {
 	fmt.Printf("population n=%d\n\n", n)
 
 	// Deterministic screening: concrete events with TCAs.
-	res, elapsed, err := screenTimed(sats, satconj.Options{
+	res, elapsed, err := screenTimed(ctx, sats, satconj.Options{
 		Variant: satconj.VariantHybrid, ThresholdKm: threshold, DurationSeconds: duration,
 	})
 	if err != nil {
@@ -417,7 +435,7 @@ func runFig10c(ctx *benchCtx) error {
 		if err != nil {
 			return fmt.Errorf("planner at n=%d: %w", n, err)
 		}
-		res, elapsed, err := screenTimed(sats, satconj.Options{
+		res, elapsed, err := screenTimed(ctx, sats, satconj.Options{
 			Variant: satconj.VariantHybrid, ThresholdKm: ctx.threshold,
 			DurationSeconds: ctx.duration, SecondsPerSample: plan.SecondsPerSample,
 			PairSlotHint: plan.ConjunctionSlotCount,
@@ -429,7 +447,7 @@ func runFig10c(ctx *benchCtx) error {
 		t.AddRow(n, "hybrid(planned)", plan.SecondsPerSample, plan.P, fmt.Sprintf("%.3f", elapsed.Seconds()), len(res.Conjunctions))
 
 		// Grid: fixed fine sampling, lower memory, no degradation.
-		resG, elapsedG, err := screenTimed(sats, satconj.Options{
+		resG, elapsedG, err := screenTimed(ctx, sats, satconj.Options{
 			Variant: satconj.VariantGrid, ThresholdKm: ctx.threshold,
 			DurationSeconds: ctx.duration,
 		})
@@ -468,7 +486,7 @@ func runTimeshare(ctx *benchCtx) error {
 	t := report.NewTable(fmt.Sprintf("Phase shares at n=%d, span %.0f s, threshold %.1f km", n, duration, threshold),
 		"Variant", "CD %", "INS %", "coplanarity %")
 	for _, v := range []satconj.Variant{satconj.VariantGrid, satconj.VariantHybrid} {
-		res, err := satconj.Screen(sats, satconj.Options{
+		res, _, err := screenTimed(ctx, sats, satconj.Options{
 			Variant: v, ThresholdKm: threshold, DurationSeconds: duration,
 		})
 		if err != nil {
@@ -512,7 +530,7 @@ func runThreads(ctx *benchCtx) error {
 	for _, v := range []satconj.Variant{satconj.VariantGrid, satconj.VariantHybrid} {
 		var t1 float64
 		for _, w := range workerCounts {
-			_, elapsed, err := screenTimed(sats, satconj.Options{
+			_, elapsed, err := screenTimed(ctx, sats, satconj.Options{
 				Variant: v, ThresholdKm: ctx.threshold, DurationSeconds: ctx.duration, Workers: w,
 			})
 			if err != nil {
@@ -564,7 +582,7 @@ func runTDP(ctx *benchCtx) error {
 		o := h.opts
 		o.ThresholdKm = ctx.threshold
 		o.DurationSeconds = ctx.duration
-		_, elapsed, err := screenTimed(sats, o)
+		_, elapsed, err := screenTimed(ctx, sats, o)
 		if err != nil {
 			return err
 		}
@@ -606,7 +624,7 @@ func runAccuracy(ctx *benchCtx) error {
 	variants := []satconj.Variant{satconj.VariantLegacy, satconj.VariantSieve, satconj.VariantGrid, satconj.VariantHybrid}
 	var outs []outcome
 	for _, v := range variants {
-		res, elapsed, err := screenTimed(sats, satconj.Options{
+		res, elapsed, err := screenTimed(ctx, sats, satconj.Options{
 			Variant: v, ThresholdKm: threshold, DurationSeconds: duration,
 		})
 		if err != nil {

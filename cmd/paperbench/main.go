@@ -18,11 +18,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 )
 
 // experiment is one reproducible table/figure.
@@ -61,9 +66,17 @@ func main() {
 	flag.Int64Var(&ctx.memBudget, "membudget", 1<<30, "simulated device memory budget for fig10c (bytes)")
 	flag.BoolVar(&ctx.csv, "csv", false, "emit CSV instead of ASCII tables where applicable")
 	flag.StringVar(&ctx.svgDir, "svg", "", "also write figures as SVG files into this directory")
+	flag.StringVar(&ctx.jsonPath, "benchjson", "", "write per-run measurements (variant, population, wall time, allocs) to this JSON file, e.g. BENCH_PR3.json")
 	flag.Parse()
 	ctx.visited = map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { ctx.visited[f.Name] = true })
+
+	// SIGINT/SIGTERM cancels the current screening run through the context
+	// plumbing, so even a long -full sweep unwinds within about one sampling
+	// step; measurements collected so far still reach -benchjson.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx.ctx = sigCtx
 
 	switch exp {
 	case "list":
@@ -73,26 +86,68 @@ func main() {
 		for _, e := range experiments {
 			banner(e)
 			if err := e.run(ctx); err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.id, err)
-				os.Exit(1)
+				fail(ctx, e.id, err)
 			}
 			fmt.Println()
 		}
+		writeBenchJSON(ctx)
 		return
 	}
 	for _, e := range experiments {
 		if e.id == exp {
 			banner(e)
 			if err := e.run(ctx); err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.id, err)
-				os.Exit(1)
+				fail(ctx, e.id, err)
 			}
+			writeBenchJSON(ctx)
 			return
 		}
 	}
 	fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n\n", exp)
 	listExperiments()
 	os.Exit(2)
+}
+
+// fail reports an experiment error and exits; partial measurements are
+// still flushed, and an interrupt gets the conventional 130 status.
+func fail(ctx *benchCtx, id string, err error) {
+	writeBenchJSON(ctx)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "paperbench: %s: interrupted, run cancelled cleanly\n", id)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", id, err)
+	os.Exit(1)
+}
+
+// benchRecord is one measured screening run as written by -benchjson.
+type benchRecord struct {
+	Variant     string  `json:"variant"`
+	Backend     string  `json:"backend"`
+	Objects     int     `json:"objects"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Allocs      uint64  `json:"allocs"`
+}
+
+// writeBenchJSON stores the measurements screenTimed collected. An empty
+// -benchjson path disables it.
+func writeBenchJSON(ctx *benchCtx) {
+	if ctx.jsonPath == "" || len(ctx.records) == 0 {
+		return
+	}
+	doc := struct {
+		Schema  string        `json:"schema"`
+		Records []benchRecord `json:"records"`
+	}{Schema: "paperbench/v1", Records: ctx.records}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err == nil {
+		err = os.WriteFile(ctx.jsonPath, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", ctx.jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(measurements written to %s: %d records)\n", ctx.jsonPath, len(ctx.records))
 }
 
 func listExperiments() {
@@ -113,7 +168,8 @@ func banner(e experiment) {
 	fmt.Printf("%s\n=== %s ===\n%s\n", line, e.title, line)
 }
 
-// benchCtx carries the shared flags.
+// benchCtx carries the shared flags plus the run context and the
+// measurement log backing -benchjson.
 type benchCtx struct {
 	seed      uint64
 	duration  float64
@@ -123,7 +179,18 @@ type benchCtx struct {
 	memBudget int64
 	csv       bool
 	svgDir    string
+	jsonPath  string
 	visited   map[string]bool // flags the user set explicitly
+	ctx       context.Context // cancelled on SIGINT/SIGTERM
+	records   []benchRecord   // one entry per measured screening run
+}
+
+// runCtx is the cancellation context for screening runs.
+func (c *benchCtx) runCtx() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // durationOr returns the user's -duration, or def when it was left at the

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/errfull"
 	"repro/internal/analysis/floateq"
 	"repro/internal/analysis/unitcheck"
@@ -36,6 +37,7 @@ import (
 // suite is every registered analyzer, in reporting order.
 var suite = []*analysis.Analyzer{
 	atomicmix.Analyzer,
+	ctxfirst.Analyzer,
 	errfull.Analyzer,
 	floateq.Analyzer,
 	unitcheck.Analyzer,

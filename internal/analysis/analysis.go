@@ -6,10 +6,12 @@
 // go/types so the tooling works in hermetic build environments without any
 // module downloads.
 //
-// The four repository-specific analyzers live in subpackages:
+// The five repository-specific analyzers live in subpackages:
 //
 //   - atomicmix: struct fields accessed both through sync/atomic and with
 //     plain loads/stores (lock-free hot-path integrity).
+//   - ctxfirst: exported functions must take context.Context first, and
+//     context.TODO() is reserved for tests (cancellation plumbing).
 //   - floateq: == / != on floating-point operands in orbital math.
 //   - errfull: dropped errors from Insert/grow-shaped APIs
 //     (lockfree.ErrFull must reach the double-and-retry handling).

@@ -1,0 +1,109 @@
+// Package ctxfirst enforces the repository's context-threading conventions,
+// introduced with the cancellable screening pipeline:
+//
+//   - An exported function or method that takes a context.Context alongside
+//     other parameters must take the context first. The pipeline threads
+//     cancellation from the HTTP server and the CLIs down to ParallelFor;
+//     a context buried mid-signature is how call sites end up passing
+//     context.Background() "for now" and breaking the chain.
+//   - context.TODO() may not appear outside _test.go files. TODO marks a
+//     call path whose cancellation story is unresolved; in this codebase
+//     every production path either owns a real context or deliberately
+//     opts out with context.Background().
+//
+// Intentional exceptions are annotated //lint:ctxfirst-ok.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxfirst check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "exported functions must take context.Context as the first parameter; " +
+		"context.TODO() is reserved for tests",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		inTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, node)
+			case *ast.CallExpr:
+				if !inTest {
+					checkTODO(pass, node)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature reports an exported function whose context parameter is not
+// first among several.
+func checkSignature(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if !decl.Name.IsExported() {
+		return
+	}
+	fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() < 2 {
+		return // a lone context is trivially first
+	}
+	for i := 0; i < params.Len(); i++ {
+		if !isContext(params.At(i).Type()) {
+			continue
+		}
+		if i > 0 {
+			pass.Reportf(decl.Name.Pos(),
+				"exported %s takes context.Context as parameter %d of %d; "+
+					"make it the first parameter or annotate //lint:ctxfirst-ok",
+				fn.Name(), i+1, params.Len())
+		}
+		return // one report per function; a first-position ctx is fine
+	}
+}
+
+// checkTODO reports context.TODO() calls in non-test files.
+func checkTODO(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "TODO" {
+		return
+	}
+	if pkg := fn.Pkg(); pkg == nil || pkg.Path() != "context" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"context.TODO() outside a test: thread a real context or use "+
+			"context.Background() where cancellation is deliberately out of scope")
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

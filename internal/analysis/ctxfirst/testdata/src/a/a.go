@@ -1,0 +1,43 @@
+// Fixture for the ctxfirst analyzer: context placement in exported
+// signatures and context.TODO() in production code.
+package a
+
+import "context"
+
+type runner struct{}
+
+// ScreenContext follows the convention: context first.
+func ScreenContext(ctx context.Context, n int) int { return n }
+
+// ScreenLate buries the context.
+func ScreenLate(n int, ctx context.Context) int { return n } // want "parameter 2 of 2"
+
+// Launch buries it among several parameters.
+func Launch(name string, n int, ctx context.Context, retries int) {} // want "parameter 3 of 4"
+
+// Run on a method is held to the same rule.
+func (runner) Run(n int, ctx context.Context) {} // want "parameter 2 of 2"
+
+// OnlyCtx takes nothing else: trivially fine.
+func OnlyCtx(ctx context.Context) {}
+
+// NoCtx takes no context at all: fine.
+func NoCtx(a, b int) {}
+
+// unexportedLate is internal plumbing; the convention binds the API surface.
+func unexportedLate(n int, ctx context.Context) {}
+
+// Suppressed opts out explicitly.
+//
+//lint:ctxfirst-ok
+func Suppressed(n int, ctx context.Context) {}
+
+// todoInProd leaves the cancellation story unresolved.
+func todoInProd() context.Context {
+	return context.TODO() // want "outside a test"
+}
+
+// backgroundInProd is the sanctioned opt-out.
+func backgroundInProd() context.Context {
+	return context.Background()
+}

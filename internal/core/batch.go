@@ -41,20 +41,32 @@ func (r *run) sampleStepsBatched() error {
 		}
 	}()
 
+	// Per-step grid occupancy for the observer; rounds that overflow and
+	// retry repopulate it, and steps are only reported after a round
+	// succeeds, so no step is observed twice. nil (no observer) costs
+	// nothing.
+	var inserted []int
+	if r.observer != nil {
+		inserted = make([]int, batch)
+	}
+
 	for base := 0; base < r.steps; base += batch {
 		hi := base + batch
 		if hi > r.steps {
 			hi = r.steps
 		}
 		for { // retry loop for pair-set growth
+			if err := r.cancelled(); err != nil {
+				return err
+			}
 			var full atomic.Bool
 			var firstErr atomic.Value
 			var insNs, cdNs atomic.Int64
-			r.exec.ParallelFor(hi-base, func(lo, hiK int) {
+			perr := r.exec.ParallelFor(r.ctx, hi-base, func(lo, hiK int) {
 				scratch := scanScratchPool.Get().(*scanScratch)
 				defer scanScratchPool.Put(scratch)
 				for k := lo; k < hiK; k++ {
-					overflow, ins, cd, err := r.processStepSerial(uint32(base+k), grids[k], scratch)
+					overflow, n, ins, cd, err := r.processStepSerial(uint32(base+k), grids[k], scratch)
 					insNs.Add(int64(ins))
 					cdNs.Add(int64(cd))
 					if err != nil {
@@ -65,10 +77,16 @@ func (r *run) sampleStepsBatched() error {
 						full.Store(true)
 						return
 					}
+					if inserted != nil {
+						inserted[k] = n
+					}
 				}
 			})
 			if err, ok := firstErr.Load().(error); ok {
 				return err
+			}
+			if perr != nil {
+				return perr
 			}
 			r.stats.Insertion += time.Duration(insNs.Load())
 			r.stats.Detection += time.Duration(cdNs.Load())
@@ -77,15 +95,32 @@ func (r *run) sampleStepsBatched() error {
 			}
 			r.growPairs()
 		}
+		for k := base; k < hi; k++ {
+			r.observeStep(k, insertedAt(inserted, k-base))
+		}
 	}
-	r.stats.Steps = r.steps
 	return nil
+}
+
+// insertedAt guards the observer-only occupancy slice (nil without an
+// observer, in which case observeStep ignores the value anyway).
+func insertedAt(inserted []int, i int) int {
+	if inserted == nil {
+		return 0
+	}
+	return inserted[i]
 }
 
 // processStepSerial runs one sampling step start-to-finish on the calling
 // goroutine: propagate, insert into the step's private grid, scan for
-// candidates into the shared pair set.
-func (r *run) processStepSerial(step uint32, gs *lockfree.GridSet, scratch *scanScratch) (overflow bool, ins, cd time.Duration, err error) {
+// candidates into the shared pair set. inserted reports how many satellites
+// landed in the grid (for the observer). A cancelled run context aborts
+// before the step starts, so a batch worker holding several steps still
+// unwinds within ~one step.
+func (r *run) processStepSerial(step uint32, gs *lockfree.GridSet, scratch *scanScratch) (overflow bool, inserted int, ins, cd time.Duration, err error) {
+	if err := r.cancelled(); err != nil {
+		return false, 0, 0, 0, err
+	}
 	t := float64(step) * r.sps
 
 	tIns := time.Now()
@@ -98,13 +133,14 @@ func (r *run) processStepSerial(step uint32, gs *lockfree.GridSet, scratch *scan
 			continue
 		}
 		if insErr := gs.Insert(key, int32(i), r.sats[i].ID, pos); insErr != nil {
-			return false, time.Since(tIns), 0, fmt.Errorf("core: grid insertion: %w", insErr)
+			return false, inserted, time.Since(tIns), 0, fmt.Errorf("core: grid insertion: %w", insErr)
 		}
+		inserted++
 	}
 	ins = time.Since(tIns)
 
 	tCD := time.Now()
 	overflow = r.scanSlots(gs, 0, gs.Slots(), step, scratch)
 	cd = time.Since(tCD)
-	return overflow, ins, cd, nil
+	return overflow, inserted, ins, cd, nil
 }

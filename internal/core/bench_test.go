@@ -3,6 +3,7 @@ package core
 // Ablation benchmarks for the design choices called out in DESIGN.md §5.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -71,7 +72,7 @@ func benchSlotFactor(b *testing.B, factor float64) {
 		_ = res
 	}
 	// Probe statistics come from a dedicated single run (stable metric).
-	run, err := newRun(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1, GridSlotFactor: factor}, sats, 1)
+	run, err := newRun(context.Background(), Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1, GridSlotFactor: factor}, sats, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

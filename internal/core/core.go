@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -93,6 +94,13 @@ type Config struct {
 	// pool.Disabled() opts out of all reuse. See pool's package doc for the
 	// ownership rules.
 	Pool *pool.Pool
+	// Sink, when non-nil, receives each conjunction as refinement confirms
+	// it — before the sorted Result materialises. See the Sink contract in
+	// observer.go.
+	Sink Sink
+	// Observer, when non-nil, receives per-step and per-phase progress
+	// while the run is in flight. See the Observer contract in observer.go.
+	Observer Observer
 }
 
 // Executor abstracts the data-parallel backend of §V-E. The CPU backend
@@ -101,9 +109,13 @@ type Config struct {
 // ranges onto simulated 512-thread blocks.
 type Executor interface {
 	// ParallelFor partitions [0, n) into ranges and runs fn on them
-	// concurrently, returning after all ranges completed. fn must be safe
-	// for concurrent invocation on disjoint ranges.
-	ParallelFor(n int, fn func(lo, hi int))
+	// concurrently. fn must be safe for concurrent invocation on disjoint
+	// ranges. Cancellation is cooperative: when ctx is cancelled the
+	// executor stops dispatching unstarted ranges, waits for in-flight
+	// ranges to finish (callers release pooled structures on return, so no
+	// fn may still be running), and returns ctx.Err(). A nil-Done context
+	// must add no overhead.
+	ParallelFor(ctx context.Context, n int, fn func(lo, hi int)) error
 	// Workers reports the backend's concurrency for sizing scratch space.
 	Workers() int
 	// ExecutorName identifies the backend in results.
@@ -122,7 +134,9 @@ type transferAccounter interface {
 type cpuExecutor struct{ workers int }
 
 // ParallelFor implements Executor.
-func (e cpuExecutor) ParallelFor(n int, fn func(lo, hi int)) { parallelFor(e.workers, n, fn) }
+func (e cpuExecutor) ParallelFor(ctx context.Context, n int, fn func(lo, hi int)) error {
+	return parallelFor(ctx, e.workers, n, fn)
+}
 
 // Workers implements Executor.
 func (e cpuExecutor) Workers() int { return e.workers }

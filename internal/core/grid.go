@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,12 +30,19 @@ const DefaultGridSeconds = 1.0
 // Screen runs the full pipeline over the population and returns every
 // conjunction below the screening threshold in [0, DurationSeconds].
 func (d *Grid) Screen(sats []propagation.Satellite) (*Result, error) {
+	return d.ScreenContext(context.Background(), sats)
+}
+
+// ScreenContext is Screen with cooperative cancellation: when ctx is
+// cancelled the pipeline unwinds within about one sampling step, returns
+// ctx.Err(), and hands every pooled structure back before returning.
+func (d *Grid) ScreenContext(ctx context.Context, sats []propagation.Satellite) (*Result, error) {
 	cfg := d.cfg
 	sps := cfg.SecondsPerSample
 	if sps <= 0 {
 		sps = DefaultGridSeconds
 	}
-	run, err := newRun(cfg, sats, sps)
+	run, err := newRun(ctx, cfg, sats, sps)
 	if err != nil {
 		return nil, err
 	}
@@ -54,8 +62,12 @@ func (d *Grid) Screen(sats []propagation.Satellite) (*Result, error) {
 	tRef := time.Now()
 	pairs := run.collectPairs()
 	run.stats.CandidatePairs = len(pairs)
-	conjs := run.refineCandidates(pairs, nil)
+	conjs, err := run.refineCandidates(pairs, nil)
+	if err != nil {
+		return nil, err
+	}
 	run.stats.Detection += time.Since(tRef)
+	run.observePhase(PhaseRefine, time.Since(tRef), len(conjs))
 
 	res.Conjunctions = conjs
 	res.Stats = run.finishStats()
@@ -87,6 +99,18 @@ type run struct {
 	refiner     *refiner
 	uncertainty UncertaintyMap
 
+	// Cancellation and observability plumbing. done caches ctx.Done() so
+	// the uncancellable (Background) path pays nothing; sink and observer
+	// are nil unless the caller asked for streaming/progress. obsMu
+	// serialises Observer calls arriving from batch workers, and stepsDone
+	// counts completed steps across them.
+	ctx       context.Context
+	done      <-chan struct{}
+	sink      Sink
+	observer  Observer
+	obsMu     sync.Mutex
+	stepsDone int
+
 	// Per-step inputs of the prebuilt range closures below. Building a
 	// closure inside the step loop costs a heap allocation per step — at a
 	// 1 s sampling step that alone dwarfs the pooled structures' savings —
@@ -109,8 +133,10 @@ const satelliteUploadBytes = 120
 
 // newRun validates inputs and allocates every structure up front — the
 // paper's step 1. A nil run (with nil error) signals a trivially empty
-// population.
-func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error) {
+// population. A context already cancelled on entry aborts before sampling,
+// with the pooled structures returned.
+func newRun(ctx context.Context, cfg Config, sats []propagation.Satellite, sps float64) (*run, error) {
+	tAlloc := time.Now()
 	if cfg.DurationSeconds <= 0 {
 		return nil, ErrNoDuration
 	}
@@ -180,17 +206,86 @@ func newRun(cfg Config, sats []propagation.Satellite, sps float64) (*run, error)
 		prop:        cfg.propagator(),
 		steps:       steps,
 		uncertainty: cfg.Uncertainty,
+		ctx:         ctx,
+		done:        ctx.Done(),
+		sink:        cfg.Sink,
+		observer:    cfg.Observer,
 	}
 	r.propagateFn = r.propagateRange
 	r.insertFn = r.insertRange
 	r.scanFn = r.scanRange
 	r.refiner = newRefiner(r.prop, threshold, cfg.DurationSeconds)
 	r.stats.GridSlots = r.gset.Slots()
+	if err := r.cancelled(); err != nil {
+		r.release()
+		return nil, err
+	}
 	// Device backends pay the satellite upload once, at allocation time.
 	if ta, ok := exec.(transferAccounter); ok {
 		ta.TransferH2D(int64(len(sats)) * satelliteUploadBytes)
 	}
+	r.observePhase(PhaseAllocate, time.Since(tAlloc), 0)
 	return r, nil
+}
+
+// cancelled reports the run context's error once it is done. The nil-Done
+// fast path keeps uncancellable (context.Background) runs free of any
+// synchronisation or allocation.
+func (r *run) cancelled() error {
+	if r.done == nil {
+		return nil
+	}
+	select {
+	case <-r.done:
+		return r.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// observeStep reports one finished sampling step. obsMu serialises callers:
+// the sequential step loop holds it trivially, batch workers contend for it.
+func (r *run) observeStep(step, gridEntries int) {
+	if r.observer == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.stepsDone++
+	r.observer.OnStep(StepInfo{
+		Step:        step,
+		Steps:       r.steps,
+		Completed:   r.stepsDone,
+		GridEntries: gridEntries,
+		PairSetLen:  r.pairs.Len(),
+		OutOfBounds: r.oob.Load(),
+	})
+	r.obsMu.Unlock()
+}
+
+// observePhase reports a completed pipeline phase with the run counters
+// known at that instant.
+func (r *run) observePhase(p Phase, elapsed time.Duration, conjunctions int) {
+	if r.observer == nil {
+		return
+	}
+	cand := r.stats.CandidatePairs
+	if cand == 0 {
+		// Before collectPairs snapshots the count, the live set length is
+		// the candidate tally (PhaseSample reports it this way).
+		cand = r.pairs.Len()
+	}
+	r.obsMu.Lock()
+	r.observer.OnPhase(PhaseInfo{
+		Phase:          p,
+		Elapsed:        elapsed,
+		GridSlots:      r.stats.GridSlots,
+		PairSlots:      r.pairs.Slots(),
+		Candidates:     cand,
+		FilterRejected: r.stats.FilterRejected,
+		Refinements:    r.stats.Refinements,
+		Conjunctions:   conjunctions,
+	})
+	r.obsMu.Unlock()
 }
 
 // release returns the run's pooled structures. Both detectors defer it as
@@ -219,14 +314,35 @@ func (r *run) collectPairs() []lockfree.Pair {
 // Config.ParallelSteps > 1 whole steps run concurrently (see batch.go);
 // otherwise steps run sequentially with intra-step parallelism.
 func (r *run) sampleAllSteps() error {
+	tSample := time.Now()
+	var err error
 	if r.cfg.ParallelSteps > 1 {
-		return r.sampleStepsBatched()
+		err = r.sampleStepsBatched()
+	} else {
+		err = r.sampleStepsSequential()
 	}
+	if err != nil {
+		return err
+	}
+	r.stats.Steps = r.steps
+	r.observePhase(PhaseSample, time.Since(tSample), 0)
+	return nil
+}
+
+// sampleStepsSequential is the one-step-at-a-time sampling loop, with
+// intra-step parallelism and a cancellation check per step.
+func (r *run) sampleStepsSequential() error {
 	for step := 0; step < r.steps; step++ {
+		if err := r.cancelled(); err != nil {
+			return err
+		}
 		r.stepTime = float64(step) * r.sps
+		oobBefore := r.oob.Load()
 
 		tIns := time.Now()
-		r.exec.ParallelFor(len(r.sats), r.propagateFn)
+		if err := r.exec.ParallelFor(r.ctx, len(r.sats), r.propagateFn); err != nil {
+			return err
+		}
 		r.gset.ResetParallel(r.workers)
 		if err := r.insertAll(); err != nil {
 			return err
@@ -234,12 +350,19 @@ func (r *run) sampleAllSteps() error {
 		r.stats.Insertion += time.Since(tIns)
 
 		tCD := time.Now()
-		for r.generateCandidates(uint32(step)) {
+		for {
+			overflow, err := r.generateCandidates(uint32(step))
+			if err != nil {
+				return err
+			}
+			if !overflow {
+				break
+			}
 			r.growPairs()
 		}
 		r.stats.Detection += time.Since(tCD)
+		r.observeStep(step, len(r.sats)-int(r.oob.Load()-oobBefore))
 	}
-	r.stats.Steps = r.steps
 	return nil
 }
 
@@ -279,7 +402,9 @@ func (r *run) scanRange(lo, hi int) {
 
 // insertAll performs the parallel grid insertion of §IV-A2.
 func (r *run) insertAll() error {
-	r.exec.ParallelFor(len(r.sats), r.insertFn)
+	if err := r.exec.ParallelFor(r.ctx, len(r.sats), r.insertFn); err != nil {
+		return err
+	}
 	if err, ok := r.insertErr.Load().(error); ok {
 		return fmt.Errorf("core: grid insertion: %w", err)
 	}
@@ -291,11 +416,13 @@ func (r *run) insertAll() error {
 // pairs with every other satellite in its own cell and the neighbouring
 // cells. It reports true when the pair set overflowed (caller grows it and
 // re-runs; insertion is idempotent so the retry is safe).
-func (r *run) generateCandidates(step uint32) (overflow bool) {
+func (r *run) generateCandidates(step uint32) (overflow bool, err error) {
 	r.scanStep = step
 	r.scanFull.Store(false)
-	r.exec.ParallelFor(r.gset.Slots(), r.scanFn)
-	return r.scanFull.Load()
+	if err := r.exec.ParallelFor(r.ctx, r.gset.Slots(), r.scanFn); err != nil {
+		return false, err
+	}
+	return r.scanFull.Load(), nil
 }
 
 // scanScratch carries per-worker buffers across scanSlots calls. The
@@ -376,14 +503,23 @@ func (r *run) growPairs() {
 // refineCandidates runs the parallel PCA/TCA phase over the candidate list.
 // radiusOverride, when non-nil, supplies a per-pair custom interval
 // (the hybrid variant's node-window intervals); a nil entry or nil function
-// falls back to the grid rule.
-func (r *run) refineCandidates(pairs []lockfree.Pair, interval func(p lockfree.Pair) (center, radius float64, ok bool)) []Conjunction {
+// falls back to the grid rule. Confirmed conjunctions stream to the run's
+// sink (if any) as each worker chunk completes, under the same mutex that
+// merges them into the result — the Sink contract's serialisation point.
+func (r *run) refineCandidates(pairs []lockfree.Pair, interval func(p lockfree.Pair) (center, radius float64, ok bool)) ([]Conjunction, error) {
 	var mu sync.Mutex
 	var all []Conjunction
 	var refinements atomic.Int64
-	r.exec.ParallelFor(len(pairs), func(lo, hi int) {
+	perr := r.exec.ParallelFor(r.ctx, len(pairs), func(lo, hi int) {
 		var out []Conjunction
 		for k := lo; k < hi; k++ {
+			if r.done != nil && (k-lo)&63 == 0 {
+				select {
+				case <-r.done:
+					return
+				default:
+				}
+			}
 			p := pairs[k]
 			a := &r.sats[r.idx[p.A]]
 			b := &r.sats[r.idx[p.B]]
@@ -406,16 +542,27 @@ func (r *run) refineCandidates(pairs []lockfree.Pair, interval func(p lockfree.P
 		if len(out) > 0 {
 			mu.Lock()
 			all = append(all, out...)
+			if r.sink != nil {
+				for _, c := range out {
+					r.sink.Emit(c)
+				}
+			}
 			mu.Unlock()
 		}
 	})
 	r.stats.Refinements += int(refinements.Load())
+	if perr == nil {
+		perr = r.cancelled()
+	}
+	if perr != nil {
+		return nil, perr
+	}
 	sortConjunctions(all)
 	// Device backends download the conjunction set once, at the end.
 	if ta, ok := r.exec.(transferAccounter); ok {
 		ta.TransferD2H(int64(len(pairs)) * 16)
 	}
-	return all
+	return all, nil
 }
 
 // finishStats seals the run counters into the result stats.
@@ -426,35 +573,81 @@ func (r *run) finishStats() PhaseStats {
 	return st
 }
 
-// parallelFor splits [0, n) across workers goroutines and waits.
-func parallelFor(workers, n int, fn func(lo, hi int)) {
+// parallelFor splits [0, n) across workers goroutines and waits. Ranges are
+// dispatched as bounded chunks pulled from a shared cursor so cancellation
+// takes effect between chunks; in-flight chunks always run to completion
+// before return (the Executor contract — callers release pooled structures
+// the moment ParallelFor returns). The single-worker uncancellable path
+// stays a direct call with zero allocations.
+func parallelFor(ctx context.Context, workers, n int, fn func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
+	done := ctx.Done()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+		if done == nil {
+			fn(0, n)
+			return nil
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		// Sequential but cooperative: bounded chunks with a cancellation
+		// check before each, so a cancelled single-worker run still unwinds
+		// mid-range.
+		chunk := (n + 15) / 16
+		for lo := 0; lo < n; lo += chunk {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
 			fn(lo, hi)
-		}(lo, hi)
+		}
+		return nil
+	}
+	// Oversubscribe the chunking (4 per worker) so workers re-check the
+	// context at sub-range granularity and tail imbalance stays small.
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
 	}
 	wg.Wait()
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
 }
 
 func min32(a, b int32) int32 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -46,12 +47,18 @@ type nodeTiming struct {
 
 // Screen runs the hybrid pipeline.
 func (d *Hybrid) Screen(sats []propagation.Satellite) (*Result, error) {
+	return d.ScreenContext(context.Background(), sats)
+}
+
+// ScreenContext is Screen with cooperative cancellation; see
+// Grid.ScreenContext for the contract.
+func (d *Hybrid) ScreenContext(ctx context.Context, sats []propagation.Satellite) (*Result, error) {
 	cfg := d.cfg
 	sps := cfg.SecondsPerSample
 	if sps <= 0 {
 		sps = DefaultHybridSeconds
 	}
-	run, err := newRun(cfg, sats, sps)
+	run, err := newRun(ctx, cfg, sats, sps)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +79,10 @@ func (d *Hybrid) Screen(sats []propagation.Satellite) (*Result, error) {
 	// (§III step 3; its cost is the "determining if orbits are coplanar"
 	// share of §V-C1).
 	tFil := time.Now()
-	decisions := run.classifyPairs(pairs)
+	decisions, err := run.classifyPairs(pairs)
+	if err != nil {
+		return nil, err
+	}
 	kept := pairs[:0]
 	for _, p := range pairs {
 		if decisions[lockfree.PackPair(p.A, p.B, 0)].class != filters.Rejected {
@@ -81,6 +91,7 @@ func (d *Hybrid) Screen(sats []propagation.Satellite) (*Result, error) {
 	}
 	run.stats.FilterRejected = len(pairs) - len(kept)
 	run.stats.Coplanarity += time.Since(tFil)
+	run.observePhase(PhaseFilter, time.Since(tFil), 0)
 
 	// Step 4: refinement. Node-crossing pairs search the node window; the
 	// coplanar ones use the grid rule exactly like the grid variant.
@@ -109,8 +120,12 @@ func (d *Hybrid) Screen(sats []propagation.Satellite) (*Result, error) {
 		}
 		return best, math.Max(bestRadius, 1), true
 	}
-	conjs := run.refineCandidates(kept, interval)
+	conjs, err := run.refineCandidates(kept, interval)
+	if err != nil {
+		return nil, err
+	}
 	run.stats.Detection += time.Since(tRef)
+	run.observePhase(PhaseRefine, time.Since(tRef), len(conjs))
 
 	res.Conjunctions = conjs
 	res.Stats = run.finishStats()
@@ -119,7 +134,7 @@ func (d *Hybrid) Screen(sats []propagation.Satellite) (*Result, error) {
 
 // classifyPairs runs filters.Classify over the distinct pairs in parallel
 // and precomputes the node-crossing schedules.
-func (r *run) classifyPairs(pairs []lockfree.Pair) map[uint64]pairDecision {
+func (r *run) classifyPairs(pairs []lockfree.Pair) (map[uint64]pairDecision, error) {
 	// Collect distinct pairs.
 	uniq := make(map[uint64]lockfree.Pair, len(pairs))
 	for _, p := range pairs {
@@ -131,7 +146,7 @@ func (r *run) classifyPairs(pairs []lockfree.Pair) map[uint64]pairDecision {
 	}
 	decs := make([]pairDecision, len(keys))
 	var mu sync.Mutex
-	r.exec.ParallelFor(len(keys), func(lo, hi int) {
+	perr := r.exec.ParallelFor(r.ctx, len(keys), func(lo, hi int) {
 		var local filters.Stats
 		for i := lo; i < hi; i++ {
 			p := uniq[keys[i]]
@@ -154,11 +169,14 @@ func (r *run) classifyPairs(pairs []lockfree.Pair) map[uint64]pairDecision {
 		r.stats.FilterStats.Merge(local)
 		mu.Unlock()
 	})
+	if perr != nil {
+		return nil, perr
+	}
 	out := make(map[uint64]pairDecision, len(keys))
 	for i, k := range keys {
 		out[k] = decs[i]
 	}
-	return out
+	return out, nil
 }
 
 // nodeTimingFor converts one passing node's geometry into a crossing

@@ -19,6 +19,7 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -127,7 +128,7 @@ func (d *Device) FreeBytes() int64 { return d.MemoryBytes - d.allocated.Load() }
 // receives the global thread index. Launch blocks until every thread
 // completed (stream semantics with an implicit synchronize).
 func (d *Device) Launch(n int, kernel func(globalID int)) {
-	d.ParallelFor(n, func(lo, hi int) {
+	d.ParallelFor(context.Background(), n, func(lo, hi int) { //lint:errfull-ok — Background context cannot cancel
 		for t := lo; t < hi; t++ {
 			kernel(t)
 		}
@@ -136,11 +137,15 @@ func (d *Device) Launch(n int, kernel func(globalID int)) {
 
 // ParallelFor adapts Launch to the range-chunk signature the detectors use:
 // each block becomes one fn(lo, hi) range. It makes *Device satisfy the
-// core detectors' Executor interface.
-func (d *Device) ParallelFor(n int, fn func(lo, hi int)) {
+// core detectors' Executor interface. Cancellation follows the Executor
+// contract: a cancelled ctx stops dispatching unlaunched blocks (resident
+// blocks run to completion — real streams cannot preempt a running kernel
+// block either) and returns ctx.Err().
+func (d *Device) ParallelFor(ctx context.Context, n int, fn func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
+	done := ctx.Done()
 	d.launches.Add(1)
 	start := time.Now()
 	tpb := d.ThreadsPerBlock
@@ -162,6 +167,13 @@ func (d *Device) ParallelFor(n int, fn func(lo, hi int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				b := int(next.Add(1)) - 1
 				if b >= blocks {
 					return
@@ -177,6 +189,14 @@ func (d *Device) ParallelFor(n int, fn func(lo, hi int)) {
 	}
 	wg.Wait()
 	d.kernelNs.Add(int64(time.Since(start)))
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
 }
 
 // Workers reports the concurrency the executor offers (for sizing scratch

@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -33,14 +34,16 @@ func TestParallelForRangesDisjointAndComplete(t *testing.T) {
 	d := &Device{SMs: 3, ThreadsPerBlock: 7}
 	const n = 100
 	var hits [n]atomic.Int32
-	d.ParallelFor(n, func(lo, hi int) {
+	if err := d.ParallelFor(context.Background(), n, func(lo, hi int) {
 		if hi-lo > 7 {
 			t.Errorf("range [%d,%d) wider than a block", lo, hi)
 		}
 		for i := lo; i < hi; i++ {
 			hits[i].Add(1)
 		}
-	})
+	}); err != nil {
+		t.Fatalf("ParallelFor: %v", err)
+	}
 	for i := range hits {
 		if hits[i].Load() != 1 {
 			t.Fatalf("index %d covered %d times", i, hits[i].Load())

@@ -6,6 +6,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -65,6 +66,11 @@ type ScreenRequest struct {
 	// HardBodyKm is the combined hard-body radius for the probability
 	// computation; 0 selects 0.01 km.
 	HardBodyKm float64 `json:"hard_body_km,omitempty"`
+	// TimeoutSeconds bounds the screening's wall time; a run past it is
+	// cancelled through the context plumbing (504 on /v1/screen, an error
+	// event on /v1/screen/stream). 0 means no server-side deadline beyond
+	// the client's own patience (client disconnect always cancels).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
 // ConjunctionJSON is one reported event.
@@ -102,6 +108,8 @@ type Handler struct {
 	maxObjects int
 	// maxBody bounds request body bytes.
 	maxBody int64
+	// runs tracks in-flight and recently finished screening runs.
+	runs *runRegistry
 }
 
 // New returns a ready-to-serve handler. maxObjects ≤ 0 selects 100,000.
@@ -118,11 +126,13 @@ func NewWithLimits(maxObjects int, maxBody int64) *Handler {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
-	h := &Handler{mux: http.NewServeMux(), maxObjects: maxObjects, maxBody: maxBody}
+	h := &Handler{mux: http.NewServeMux(), maxObjects: maxObjects, maxBody: maxBody, runs: newRunRegistry()}
 	h.mux.HandleFunc("GET /v1/health", h.health)
 	h.mux.HandleFunc("GET /v1/version", h.version)
 	h.mux.HandleFunc("GET /v1/pool", h.poolStats)
+	h.mux.HandleFunc("GET /v1/runs", h.listRuns)
 	h.mux.HandleFunc("POST /v1/screen", h.screen)
+	h.mux.HandleFunc("POST /v1/screen/stream", h.screenStream)
 	return h
 }
 
@@ -153,35 +163,36 @@ func (h *Handler) poolStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
-	var req ScreenRequest
+// prepareScreen decodes, validates, and materialises a screening request.
+// On failure it writes the error reply and returns ok = false. Both the
+// blocking and the streaming endpoint go through it, so the two accept
+// exactly the same request shape.
+func (h *Handler) prepareScreen(w http.ResponseWriter, r *http.Request) (req ScreenRequest, sats []satconj.Satellite, opts satconj.Options, ok bool) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, errorJSON{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
-			return
+			return req, nil, opts, false
 		}
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
-		return
+		return req, nil, opts, false
 	}
 	if status, err := validateScreenRequest(req); err != nil {
 		writeJSON(w, status, errorJSON{Error: err.Error()})
-		return
+		return req, nil, opts, false
 	}
-
 	sats, status, err := h.population(req)
 	if err != nil {
 		writeJSON(w, status, errorJSON{Error: err.Error()})
-		return
+		return req, nil, opts, false
 	}
 	variant := satconj.Variant(strings.ToLower(req.Variant))
 	if req.Variant == "" {
 		variant = satconj.VariantHybrid
 	}
-	start := time.Now()
-	opts := satconj.Options{
+	opts = satconj.Options{
 		Variant:          variant,
 		ThresholdKm:      req.ThresholdKm,
 		DurationSeconds:  req.DurationSeconds,
@@ -191,11 +202,37 @@ func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
 	if req.SigmaKm > 0 {
 		opts.Uncertainty = satconj.UniformUncertainty(req.SigmaKm)
 	}
-	res, err := satconj.Screen(sats, opts)
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: err.Error()})
+	return req, sats, opts, true
+}
+
+// screenContext derives the run's context from the request: client
+// disconnect cancels it, and an explicit timeout_seconds adds a deadline.
+func screenContext(r *http.Request, req ScreenRequest) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if req.TimeoutSeconds > 0 {
+		return context.WithTimeout(ctx, time.Duration(req.TimeoutSeconds*float64(time.Second)))
+	}
+	return context.WithCancel(ctx)
+}
+
+func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
+	req, sats, opts, ok := h.prepareScreen(w, r)
+	if !ok {
 		return
 	}
+	ctx, cancel := screenContext(r, req)
+	defer cancel()
+
+	entry := h.runs.start(string(opts.Variant), len(sats))
+	opts.Observer = entry.observer()
+
+	start := time.Now()
+	res, err := satconj.ScreenContext(ctx, sats, opts)
+	if err != nil {
+		h.finishError(w, entry, err)
+		return
+	}
+	h.runs.finish(entry, RunCompleted, len(res.Conjunctions), "")
 	conjs := res.Conjunctions
 	if req.EventTolSeconds > 0 {
 		conjs = res.Events(req.EventTolSeconds)
@@ -210,20 +247,42 @@ func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
 		Refinements:    res.Stats.Refinements,
 		ElapsedSeconds: time.Since(start).Seconds(),
 	}
-	hardBody := req.HardBodyKm
-	if hardBody <= 0 {
-		hardBody = 0.01
-	}
 	for i, c := range conjs {
-		cj := ConjunctionJSON{A: c.A, B: c.B, TCA: c.TCA, PCA: c.PCA}
-		if req.SigmaKm > 0 {
-			if a, err := satconj.CollisionProbability(c, req.SigmaKm, req.SigmaKm, hardBody); err == nil {
-				cj.Pc, cj.Bucket = a.Pc, a.Category
-			}
-		}
-		out.Conjunctions[i] = cj
+		out.Conjunctions[i] = h.conjunctionJSON(c, req)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// finishError seals a failed run in the registry and writes the matching
+// error reply: 504 on a request deadline, nothing on a client disconnect
+// (nobody is listening), 422 otherwise.
+func (h *Handler) finishError(w http.ResponseWriter, entry *runEntry, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		h.runs.finish(entry, RunCancelled, -1, err.Error())
+		writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "screening exceeded timeout_seconds"})
+	case errors.Is(err, context.Canceled):
+		h.runs.finish(entry, RunCancelled, -1, err.Error())
+	default:
+		h.runs.finish(entry, RunFailed, -1, err.Error())
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: err.Error()})
+	}
+}
+
+// conjunctionJSON converts one conjunction, attaching the collision
+// probability when the request carried sigma_km.
+func (h *Handler) conjunctionJSON(c satconj.Conjunction, req ScreenRequest) ConjunctionJSON {
+	cj := ConjunctionJSON{A: c.A, B: c.B, TCA: c.TCA, PCA: c.PCA}
+	if req.SigmaKm > 0 {
+		hardBody := req.HardBodyKm
+		if hardBody <= 0 {
+			hardBody = 0.01
+		}
+		if a, err := satconj.CollisionProbability(c, req.SigmaKm, req.SigmaKm, hardBody); err == nil {
+			cj.Pc, cj.Bucket = a.Pc, a.Category
+		}
+	}
+	return cj
 }
 
 // validateScreenRequest rejects parameter values the detectors would either
@@ -241,6 +300,8 @@ func validateScreenRequest(req ScreenRequest) (int, error) {
 		return http.StatusUnprocessableEntity, fmt.Errorf("event_tol_seconds must not be negative, got %g", req.EventTolSeconds)
 	case req.SigmaKm < 0:
 		return http.StatusUnprocessableEntity, fmt.Errorf("sigma_km must not be negative, got %g", req.SigmaKm)
+	case req.TimeoutSeconds < 0:
+		return http.StatusUnprocessableEntity, fmt.Errorf("timeout_seconds must not be negative, got %g", req.TimeoutSeconds)
 	}
 	return 0, nil
 }

@@ -12,6 +12,7 @@
 package legacy
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -44,6 +45,14 @@ type Config struct {
 	// paper's §II (Coppola et al. 2010). ≤1 keeps the paper's
 	// single-threaded baseline behaviour.
 	Workers int
+	// Sink, when non-nil, receives each confirmed conjunction as its
+	// pair-row finishes (core's Sink contract: calls serialised, no
+	// internal locking needed).
+	Sink core.Sink
+	// Observer, when non-nil, receives per-row progress: Step is the row
+	// index i of the triangular pair loop, Steps the population size, and
+	// PairSetLen the conjunctions confirmed so far.
+	Observer core.Observer
 }
 
 // Stats counts the screener's funnel.
@@ -82,6 +91,43 @@ func New(cfg Config) *Screener { return &Screener{cfg: cfg} }
 
 // Screen runs the chain over every pair in the population.
 func (s *Screener) Screen(sats []propagation.Satellite) (*Result, error) {
+	return s.ScreenContext(context.Background(), sats)
+}
+
+// rowEmitter serialises Sink/Observer delivery as pair-rows complete; a nil
+// emitter (no sink, no observer) costs callers nothing.
+type rowEmitter struct {
+	mu   sync.Mutex
+	sink core.Sink
+	obs  core.Observer
+	rows int // total rows (population size)
+	done int // rows completed
+	conj int // conjunctions emitted so far
+}
+
+// rowDone delivers one finished row's deduplicated conjunctions and a
+// progress tick.
+func (e *rowEmitter) rowDone(row int, tail []core.Conjunction) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.sink != nil {
+		for _, c := range tail {
+			e.sink.Emit(c)
+		}
+	}
+	e.conj += len(tail)
+	e.done++
+	if e.obs != nil {
+		e.obs.OnStep(core.StepInfo{Step: row, Steps: e.rows, Completed: e.done, PairSetLen: e.conj})
+	}
+	e.mu.Unlock()
+}
+
+// ScreenContext is Screen with cooperative cancellation: a cancelled ctx
+// stops the pair loop at the next row boundary and returns ctx.Err().
+func (s *Screener) ScreenContext(ctx context.Context, sats []propagation.Satellite) (*Result, error) {
 	if s.cfg.DurationSeconds <= 0 {
 		return nil, core.ErrNoDuration
 	}
@@ -96,12 +142,26 @@ func (s *Screener) Screen(sats []propagation.Satellite) (*Result, error) {
 	}
 	fcfg := s.cfg.Filters.WithThreshold(threshold)
 	span := s.cfg.DurationSeconds
+	done := ctx.Done()
+	var emit *rowEmitter
+	if s.cfg.Sink != nil || s.cfg.Observer != nil {
+		emit = &rowEmitter{sink: s.cfg.Sink, obs: s.cfg.Observer, rows: len(sats)}
+	}
 
 	workers := s.cfg.Workers
 	if workers <= 1 || len(sats) < 4 {
 		res := &Result{}
 		for i := 0; i < len(sats); i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			tail := len(res.Conjunctions)
 			s.screenRow(prop, sats, i, fcfg, threshold, span, res)
+			emit.rowDone(i, res.Conjunctions[tail:])
 		}
 		res.Stats.Elapsed = time.Since(start)
 		sortConjunctions(res.Conjunctions)
@@ -110,7 +170,9 @@ func (s *Screener) Screen(sats []propagation.Satellite) (*Result, error) {
 
 	// Population-dividing parallelisation (§II, Coppola et al. 2010): a
 	// shared atomic row counter hands out i-rows, balancing the triangular
-	// pair loop; per-worker results merge at the end.
+	// pair loop; per-worker results merge at the end. Workers re-check the
+	// context before pulling each row, so cancellation rounds off within
+	// the in-flight rows.
 	var next atomic.Int64
 	parts := make([]Result, workers)
 	var wg sync.WaitGroup
@@ -119,15 +181,31 @@ func (s *Screener) Screen(sats []propagation.Satellite) (*Result, error) {
 		go func(out *Result) {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(sats) {
 					return
 				}
+				tail := len(out.Conjunctions)
 				s.screenRow(prop, sats, i, fcfg, threshold, span, out)
+				emit.rowDone(i, out.Conjunctions[tail:])
 			}
 		}(&parts[w])
 	}
 	wg.Wait()
+	if done != nil {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+	}
 	res := &Result{}
 	for i := range parts {
 		res.Conjunctions = append(res.Conjunctions, parts[i].Conjunctions...)

@@ -21,6 +21,7 @@
 package sieve
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -75,9 +76,16 @@ func New(cfg Config) *Screener { return &Screener{cfg: cfg} }
 
 // Screen runs the sieve over every pair.
 func (s *Screener) Screen(sats []propagation.Satellite) (*Result, error) {
+	return s.ScreenContext(context.Background(), sats)
+}
+
+// ScreenContext is Screen with cooperative cancellation: a cancelled ctx
+// stops the sieve at the next time step and returns ctx.Err().
+func (s *Screener) ScreenContext(ctx context.Context, sats []propagation.Satellite) (*Result, error) {
 	if s.cfg.DurationSeconds <= 0 {
 		return nil, core.ErrNoDuration
 	}
+	done := ctx.Done()
 	start := time.Now()
 	d := s.cfg.ThresholdKm
 	if d <= 0 {
@@ -126,6 +134,13 @@ func (s *Screener) Screen(sats []propagation.Satellite) (*Result, error) {
 		return pa.Dist2(pb)
 	}
 	for k := 0; k < steps; k++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		t := float64(k) * dt
 		for i := range sats {
 			states[i].Pos, states[i].Vel = prop.State(&sats[i], t)

@@ -34,6 +34,7 @@
 package satconj
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -67,6 +68,30 @@ type (
 	Variant = core.Variant
 	// Device is a simulated SIMT accelerator (see package gpusim).
 	Device = gpusim.Device
+	// Sink receives conjunctions as refinement confirms them, while the
+	// screening is still running; see core.Sink for the contract.
+	Sink = core.Sink
+	// SinkFunc adapts a function to the Sink interface.
+	SinkFunc = core.SinkFunc
+	// Observer receives in-flight step and phase progress; see
+	// core.Observer for the contract.
+	Observer = core.Observer
+	// ObserverFuncs adapts optional callbacks to the Observer interface.
+	ObserverFuncs = core.ObserverFuncs
+	// StepInfo reports one completed sampling step.
+	StepInfo = core.StepInfo
+	// PhaseInfo reports one completed pipeline phase.
+	PhaseInfo = core.PhaseInfo
+	// Phase names one pipeline stage.
+	Phase = core.Phase
+)
+
+// The pipeline phases, in execution order.
+const (
+	PhaseAllocate = core.PhaseAllocate
+	PhaseSample   = core.PhaseSample
+	PhaseFilter   = core.PhaseFilter
+	PhaseRefine   = core.PhaseRefine
 )
 
 // Screening variants.
@@ -112,6 +137,13 @@ type Options struct {
 	// the uniform threshold (grid/hybrid only); see UniformUncertainty
 	// and PerObjectUncertainty.
 	Uncertainty UncertaintyMap
+	// Sink, when non-nil, streams each conjunction out as refinement
+	// confirms it, before Screen returns (grid, hybrid, and legacy
+	// variants; the sieve baseline only materialises results).
+	Sink Sink
+	// Observer, when non-nil, receives step and phase progress while the
+	// screening is in flight (grid, hybrid, and legacy variants).
+	Observer Observer
 }
 
 // UncertaintyMap supplies per-object position uncertainty radii (km).
@@ -161,6 +193,16 @@ func NewSatellite(id int32, el Elements) (Satellite, error) {
 
 // Screen runs the selected screening variant over the population.
 func Screen(sats []Satellite, o Options) (*Result, error) {
+	return ScreenContext(context.Background(), sats, o)
+}
+
+// ScreenContext is Screen with cooperative cancellation: when ctx is
+// cancelled the selected variant unwinds promptly (within about one
+// sampling step, or one pair-row for the legacy baseline), returns
+// ctx.Err(), and restores pool balance. Combined with Options.Sink it is
+// the streaming form of the API — conjunctions flow out while the run is
+// still in flight.
+func ScreenContext(ctx context.Context, sats []Satellite, o Options) (*Result, error) {
 	var prop propagation.Propagator = propagation.TwoBody{}
 	if o.UseJ2 {
 		prop = propagation.J2{}
@@ -178,7 +220,9 @@ func Screen(sats []Satellite, o Options) (*Result, error) {
 			DurationSeconds: o.DurationSeconds,
 			Propagator:      prop,
 			Workers:         o.Workers, // 0 keeps the paper's single-threaded baseline
-		}).Screen(sats)
+			Sink:            o.Sink,
+			Observer:        o.Observer,
+		}).ScreenContext(ctx, sats)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +236,7 @@ func Screen(sats []Satellite, o Options) (*Result, error) {
 			DurationSeconds: o.DurationSeconds,
 			StepSeconds:     o.SecondsPerSample,
 			Propagator:      prop,
-		}).Screen(sats)
+		}).ScreenContext(ctx, sats)
 		if err != nil {
 			return nil, err
 		}
@@ -207,10 +251,10 @@ func Screen(sats []Satellite, o Options) (*Result, error) {
 		}, nil
 	case VariantGrid:
 		cfg := o.coreConfig(prop)
-		return core.NewGrid(cfg).Screen(sats)
+		return core.NewGrid(cfg).ScreenContext(ctx, sats)
 	case VariantHybrid, "":
 		cfg := o.coreConfig(prop)
-		return core.NewHybrid(cfg).Screen(sats)
+		return core.NewHybrid(cfg).ScreenContext(ctx, sats)
 	default:
 		return nil, fmt.Errorf("satconj: unknown variant %q", o.Variant)
 	}
@@ -226,6 +270,8 @@ func (o Options) coreConfig(prop propagation.Propagator) core.Config {
 		PairSlotHint:     o.PairSlotHint,
 		ParallelSteps:    o.ParallelSteps,
 		Uncertainty:      o.Uncertainty,
+		Sink:             o.Sink,
+		Observer:         o.Observer,
 	}
 	if o.Device != nil {
 		cfg.Executor = o.Device
