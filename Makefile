@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race fuzz bench bench-alloc
+.PHONY: all build test lint race fuzz bench bench-alloc perf-smoke
 
 all: build lint test
 
@@ -40,3 +40,9 @@ bench:
 bench-alloc:
 	$(GO) test -run='^$$' -bench=BenchmarkSteadyStateScreen -benchtime=5x ./internal/core
 	$(GO) test -run=TestSteadyStateAllocationBudget -v ./internal/core
+
+## perf-smoke: steady-state screening ns/op against the checked-in
+## reference (scripts/perf_smoke_ref.txt); fails past 2x. Refresh the
+## reference deliberately with scripts/perf_smoke.sh -update.
+perf-smoke:
+	scripts/perf_smoke.sh

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Comparison of two -benchjson measurement files:
+//
+//	paperbench -compare OLD.json NEW.json [-regress-pct 25]
+//
+// Records are matched on (variant, backend, objects); each matched key gets
+// a wall-time and allocation delta row, keys present on only one side are
+// listed as added/removed. The exit status is 1 when any matched key's wall
+// time regressed by more than -regress-pct percent, so CI can gate PRs on a
+// checked-in baseline (e.g. BENCH_PR4.json) without bespoke scripting.
+
+// benchFile mirrors writeBenchJSON's document shape.
+type benchFile struct {
+	Schema  string        `json:"schema"`
+	Records []benchRecord `json:"records"`
+}
+
+// benchKey identifies one measured configuration across files.
+type benchKey struct {
+	Variant string
+	Backend string
+	Objects int
+}
+
+func (k benchKey) String() string {
+	return fmt.Sprintf("%s/%s/%d", k.Variant, k.Backend, k.Objects)
+}
+
+// loadBenchFile reads and validates one -benchjson document, indexing its
+// records by configuration. Duplicate keys keep the last record, matching
+// how a rerun overwrites a measurement.
+func loadBenchFile(path string) (map[benchKey]benchRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != "paperbench/v1" {
+		return nil, fmt.Errorf("%s: unsupported schema %q (want paperbench/v1)", path, doc.Schema)
+	}
+	m := make(map[benchKey]benchRecord, len(doc.Records))
+	for _, r := range doc.Records {
+		m[benchKey{r.Variant, r.Backend, r.Objects}] = r
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+	return m, nil
+}
+
+// runCompare prints the per-configuration deltas of newPath over oldPath and
+// returns the number of wall-time regressions beyond regressPct percent.
+func runCompare(oldPath, newPath string, regressPct float64) (regressions int, err error) {
+	oldRecs, err := loadBenchFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRecs, err := loadBenchFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	keys := make([]benchKey, 0, len(oldRecs))
+	for k := range oldRecs {
+		if _, ok := newRecs[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
+		}
+		return a.Objects < b.Objects
+	})
+
+	fmt.Printf("comparing %s (old) -> %s (new), threshold %+.0f%% wall time\n\n", oldPath, newPath, regressPct)
+	fmt.Printf("%-44s %12s %12s %9s %12s %12s %8s\n",
+		"variant/backend/objects", "old wall s", "new wall s", "wall Δ%", "old allocs", "new allocs", "allocΔ")
+	for _, k := range keys {
+		o, n := oldRecs[k], newRecs[k]
+		wallPct := 0.0
+		if o.WallSeconds > 0 {
+			wallPct = (n.WallSeconds - o.WallSeconds) / o.WallSeconds * 100
+		}
+		flag := ""
+		if wallPct > regressPct {
+			flag = "  <-- REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-44s %12.6f %12.6f %+8.1f%% %12d %12d %+8d%s\n",
+			k, o.WallSeconds, n.WallSeconds, wallPct,
+			o.Allocs, n.Allocs, int64(n.Allocs)-int64(o.Allocs), flag)
+	}
+
+	for _, side := range []struct {
+		label    string
+		from, in map[benchKey]benchRecord
+	}{
+		{"only in old (removed)", oldRecs, newRecs},
+		{"only in new (added)", newRecs, oldRecs},
+	} {
+		var extra []benchKey
+		for k := range side.from {
+			if _, ok := side.in[k]; !ok {
+				extra = append(extra, k)
+			}
+		}
+		sort.Slice(extra, func(i, j int) bool { return extra[i].String() < extra[j].String() })
+		for _, k := range extra {
+			fmt.Printf("%s: %s\n", side.label, k)
+		}
+	}
+
+	fmt.Printf("\n%d configuration(s) compared, %d regression(s) beyond %.0f%%\n",
+		len(keys), regressions, regressPct)
+	return regressions, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -compare regression gate is itself CI infrastructure, so its verdicts
+// get pinned: regression counting against the threshold, schema validation,
+// and the duplicate-key/added-key bookkeeping.
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareCountsRegressions(t *testing.T) {
+	old := writeBench(t, "old.json", `{"schema":"paperbench/v1","records":[
+		{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":10},
+		{"variant":"grid","backend":"cpu","objects":2000,"wall_seconds":2.0,"allocs":20},
+		{"variant":"sieve","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":5}]}`)
+	now := writeBench(t, "new.json", `{"schema":"paperbench/v1","records":[
+		{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":1.5,"allocs":10},
+		{"variant":"grid","backend":"cpu","objects":2000,"wall_seconds":1.0,"allocs":20},
+		{"variant":"hybrid","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":5}]}`)
+
+	// +50% on grid/1000 regresses past 25%; grid/2000 improved; the sieve
+	// and hybrid rows are unmatched and must not count either way.
+	got, err := runCompare(old, now, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("regressions = %d, want 1", got)
+	}
+	// A looser threshold lets the same delta through.
+	got, err = runCompare(old, now, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("regressions at 60%% = %d, want 0", got)
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	good := writeBench(t, "good.json", `{"schema":"paperbench/v1","records":[
+		{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":1}]}`)
+	for name, content := range map[string]string{
+		"wrong-schema": `{"schema":"paperbench/v0","records":[
+			{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":1}]}`,
+		"empty":    `{"schema":"paperbench/v1","records":[]}`,
+		"not-json": `]`,
+	} {
+		bad := writeBench(t, "bad.json", content)
+		if _, err := runCompare(bad, good, 25); err == nil {
+			t.Errorf("%s accepted as old side", name)
+		}
+		if _, err := runCompare(good, bad, 25); err == nil {
+			t.Errorf("%s accepted as new side", name)
+		}
+	}
+	if _, err := runCompare(good, filepath.Join(t.TempDir(), "absent.json"), 25); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadBenchFileDuplicateKeepsLast(t *testing.T) {
+	path := writeBench(t, "dup.json", `{"schema":"paperbench/v1","records":[
+		{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":1},
+		{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":9.0,"allocs":2}]}`)
+	m, err := loadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m[benchKey{"grid", "cpu", 1000}]
+	if r.WallSeconds != 9.0 || r.Allocs != 2 { //lint:floateq-ok exact literal round-trip
+		t.Fatalf("duplicate key kept %+v, want the last record", r)
+	}
+}
+
+func TestCompareCheckedInCaptures(t *testing.T) {
+	// The repo's own checked-in captures must stay loadable and regression
+	// free relative to each other (PR 4 sped the grid up; a future edit that
+	// corrupts either file or regresses a shared key fails here).
+	reg, err := runCompare("../../BENCH_PR3.json", "../../BENCH_PR4.json", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 0 {
+		t.Fatalf("checked-in captures show %d regression(s)", reg)
+	}
+}

@@ -7,8 +7,10 @@
 //	paperbench -exp list            # list experiment ids
 //	paperbench -exp all             # run everything at the default scale
 //	paperbench -exp fig10a          # one experiment
+//	paperbench -exp fig10a,fig10b -benchjson BENCH_PR4.json
 //	paperbench -exp accuracy -accn 4000
 //	paperbench -exp fig10b -duration 1200 -full
+//	paperbench -compare BENCH_PR3.json BENCH_PR4.json   # regression gate
 //
 // The default scale is sized for a laptop-class host: population sizes and
 // screening spans are reduced relative to the paper (which used a 96-core
@@ -57,7 +59,11 @@ var experiments = []experiment{
 func main() {
 	ctx := &benchCtx{}
 	var exp string
-	flag.StringVar(&exp, "exp", "list", "experiment id, 'all', or 'list'")
+	var compare bool
+	var regressPct float64
+	flag.StringVar(&exp, "exp", "list", "experiment id (comma-separated for several), 'all', or 'list'")
+	flag.BoolVar(&compare, "compare", false, "compare two -benchjson files (args: OLD.json NEW.json); exit 1 on wall-time regression beyond -regress-pct")
+	flag.Float64Var(&regressPct, "regress-pct", 25, "with -compare: wall-time regression tolerance in percent")
 	flag.Uint64Var(&ctx.seed, "seed", 1, "population seed")
 	flag.Float64Var(&ctx.duration, "duration", 600, "screening span (seconds)")
 	flag.Float64Var(&ctx.threshold, "threshold", 2, "screening threshold (km)")
@@ -71,6 +77,22 @@ func main() {
 	ctx.visited = map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { ctx.visited[f.Name] = true })
 
+	if compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "paperbench: -compare needs exactly two arguments: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), regressPct)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: compare: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	// SIGINT/SIGTERM cancels the current screening run through the context
 	// plumbing, so even a long -full sweep unwinds within about one sampling
 	// step; measurements collected so far still reach -benchjson.
@@ -78,34 +100,41 @@ func main() {
 	defer stop()
 	ctx.ctx = sigCtx
 
-	switch exp {
-	case "list":
+	if exp == "list" {
 		listExperiments()
 		return
-	case "all":
-		for _, e := range experiments {
-			banner(e)
-			if err := e.run(ctx); err != nil {
-				fail(ctx, e.id, err)
-			}
-			fmt.Println()
-		}
-		writeBenchJSON(ctx)
-		return
 	}
+	todo := experiments
+	if exp != "all" {
+		todo = nil
+		for _, id := range strings.Split(exp, ",") {
+			e, ok := lookupExperiment(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n\n", id)
+				listExperiments()
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+	for _, e := range todo {
+		banner(e)
+		if err := e.run(ctx); err != nil {
+			fail(ctx, e.id, err)
+		}
+		fmt.Println()
+	}
+	writeBenchJSON(ctx)
+}
+
+// lookupExperiment resolves one experiment id.
+func lookupExperiment(id string) (experiment, bool) {
 	for _, e := range experiments {
-		if e.id == exp {
-			banner(e)
-			if err := e.run(ctx); err != nil {
-				fail(ctx, e.id, err)
-			}
-			writeBenchJSON(ctx)
-			return
+		if e.id == id {
+			return e, true
 		}
 	}
-	fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n\n", exp)
-	listExperiments()
-	os.Exit(2)
+	return experiment{}, false
 }
 
 // fail reports an experiment error and exits; partial measurements are

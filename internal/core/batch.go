@@ -32,12 +32,15 @@ func (r *run) sampleStepsBatched() error {
 	// successive batched runs — and the steps within one run — recycle the
 	// same instances.
 	grids := make([]*lockfree.GridSet, batch)
+	snaps := make([]*lockfree.GridSnapshot, batch)
 	for i := range grids {
 		grids[i] = r.pool.GetGridSet(int(slotFactor*float64(len(r.sats))), len(r.sats))
+		snaps[i] = r.pool.GetSnapshot(grids[i].Slots(), len(r.sats))
 	}
 	defer func() {
-		for _, g := range grids {
-			r.pool.PutGridSet(g)
+		for i := range grids {
+			r.pool.PutGridSet(grids[i])
+			r.pool.PutSnapshot(snaps[i])
 		}
 	}()
 
@@ -61,13 +64,14 @@ func (r *run) sampleStepsBatched() error {
 			}
 			var full atomic.Bool
 			var firstErr atomic.Value
-			var insNs, cdNs atomic.Int64
+			var insNs, fzNs, cdNs atomic.Int64
 			perr := r.exec.ParallelFor(r.ctx, hi-base, func(lo, hiK int) {
 				scratch := scanScratchPool.Get().(*scanScratch)
 				defer scanScratchPool.Put(scratch)
 				for k := lo; k < hiK; k++ {
-					overflow, n, ins, cd, err := r.processStepSerial(uint32(base+k), grids[k], scratch)
+					overflow, n, ins, fz, cd, err := r.processStepSerial(uint32(base+k), grids[k], snaps[k], scratch)
 					insNs.Add(int64(ins))
+					fzNs.Add(int64(fz))
 					cdNs.Add(int64(cd))
 					if err != nil {
 						firstErr.CompareAndSwap(nil, err)
@@ -89,6 +93,7 @@ func (r *run) sampleStepsBatched() error {
 				return perr
 			}
 			r.stats.Insertion += time.Duration(insNs.Load())
+			r.stats.Freeze += time.Duration(fzNs.Load())
 			r.stats.Detection += time.Duration(cdNs.Load())
 			if !full.Load() {
 				break
@@ -112,14 +117,15 @@ func insertedAt(inserted []int, i int) int {
 }
 
 // processStepSerial runs one sampling step start-to-finish on the calling
-// goroutine: propagate, insert into the step's private grid, scan for
-// candidates into the shared pair set. inserted reports how many satellites
-// landed in the grid (for the observer). A cancelled run context aborts
-// before the step starts, so a batch worker holding several steps still
-// unwinds within ~one step.
-func (r *run) processStepSerial(step uint32, gs *lockfree.GridSet, scratch *scanScratch) (overflow bool, inserted int, ins, cd time.Duration, err error) {
+// goroutine: propagate, insert into the step's private grid, freeze it into
+// the step's private snapshot, scan the snapshot into a scratch key buffer,
+// and merge that buffer into the shared pair set. inserted reports how many
+// satellites landed in the grid (for the observer). A cancelled run context
+// aborts before the step starts, so a batch worker holding several steps
+// still unwinds within ~one step.
+func (r *run) processStepSerial(step uint32, gs *lockfree.GridSet, snap *lockfree.GridSnapshot, scratch *scanScratch) (overflow bool, inserted int, ins, fz, cd time.Duration, err error) {
 	if err := r.cancelled(); err != nil {
-		return false, 0, 0, 0, err
+		return false, 0, 0, 0, 0, err
 	}
 	t := float64(step) * r.sps
 
@@ -133,14 +139,25 @@ func (r *run) processStepSerial(step uint32, gs *lockfree.GridSet, scratch *scan
 			continue
 		}
 		if insErr := gs.Insert(key, int32(i), r.sats[i].ID, pos); insErr != nil {
-			return false, inserted, time.Since(tIns), 0, fmt.Errorf("core: grid insertion: %w", insErr)
+			return false, inserted, time.Since(tIns), 0, 0, fmt.Errorf("core: grid insertion: %w", insErr)
 		}
 		inserted++
 	}
 	ins = time.Since(tIns)
 
+	// The whole step already runs on one goroutine, so the freeze does too.
+	tFz := time.Now()
+	snap.Freeze(gs, 1)
+	fz = time.Since(tFz)
+
 	tCD := time.Now()
-	overflow = r.scanSlots(gs, 0, gs.Slots(), step, scratch)
+	scratch.pairs = r.scanSnapshot(snap, 0, snap.Slots(), step, scratch.pairs[:0], scratch)
+	for _, key := range scratch.pairs {
+		if _, insErr := r.pairs.InsertPacked(key); insErr != nil {
+			overflow = true
+			break
+		}
+	}
 	cd = time.Since(tCD)
-	return overflow, inserted, ins, cd, nil
+	return overflow, inserted, ins, fz, cd, nil
 }

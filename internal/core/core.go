@@ -116,6 +116,13 @@ type Executor interface {
 	// fn may still be running), and returns ctx.Err(). A nil-Done context
 	// must add no overhead.
 	ParallelFor(ctx context.Context, n int, fn func(lo, hi int)) error
+	// ParallelForWorkers is ParallelFor with worker-identified ranges: fn
+	// additionally receives the index w ∈ [0, Workers()) of the worker
+	// executing the range, and no two concurrent invocations share a w.
+	// Callers use it to give each worker private scratch (the scan phase's
+	// per-worker candidate buffers) that is merged after the join, instead
+	// of contending on shared structures. Cancellation contract as above.
+	ParallelForWorkers(ctx context.Context, n int, fn func(w, lo, hi int)) error
 	// Workers reports the backend's concurrency for sizing scratch space.
 	Workers() int
 	// ExecutorName identifies the backend in results.
@@ -136,6 +143,11 @@ type cpuExecutor struct{ workers int }
 // ParallelFor implements Executor.
 func (e cpuExecutor) ParallelFor(ctx context.Context, n int, fn func(lo, hi int)) error {
 	return parallelFor(ctx, e.workers, n, fn)
+}
+
+// ParallelForWorkers implements Executor.
+func (e cpuExecutor) ParallelForWorkers(ctx context.Context, n int, fn func(w, lo, hi int)) error {
+	return parallelForWorkers(ctx, e.workers, n, fn)
 }
 
 // Workers implements Executor.
@@ -185,6 +197,7 @@ type Conjunction struct {
 // plus pipeline counters.
 type PhaseStats struct {
 	Insertion   time.Duration // propagation + grid insertion (INS)
+	Freeze      time.Duration // grid compaction into the CSR scan snapshot (FRZ)
 	Detection   time.Duration // candidate generation + PCA/TCA refinement (CD)
 	Coplanarity time.Duration // orbital filter classification (hybrid only)
 
@@ -201,7 +214,7 @@ type PhaseStats struct {
 
 // Total returns the accounted wall time of the phases.
 func (p PhaseStats) Total() time.Duration {
-	return p.Insertion + p.Detection + p.Coplanarity
+	return p.Insertion + p.Freeze + p.Detection + p.Coplanarity
 }
 
 // Result is the outcome of a screening run.

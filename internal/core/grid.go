@@ -87,12 +87,16 @@ type run struct {
 	cellSize    float64
 	grid        *spatial.Grid
 	gset        *lockfree.GridSet
+	snap        *lockfree.GridSnapshot
 	pairs       *lockfree.PairSet
 	states      []propagation.State
 	pairBuf     []lockfree.Pair
+	scanBufs    [][]uint64 // per-worker packed candidate keys, merged once per step
 	workers     int
 	exec        Executor
 	prop        propagation.Propagator
+	warm        propagation.WarmStarter   // non-nil: sequential warm-start path
+	kcache      []propagation.KeplerCache // per-satellite warm-start state
 	steps       int
 	oob         atomic.Uint64
 	stats       PhaseStats
@@ -124,7 +128,8 @@ type run struct {
 
 	propagateFn func(lo, hi int)
 	insertFn    func(lo, hi int)
-	scanFn      func(lo, hi int)
+	scanWFn     func(w, lo, hi int)
+	mergeFn     func(lo, hi int)
 }
 
 // satelliteUploadBytes approximates one satellite's device footprint: the
@@ -213,9 +218,31 @@ func newRun(ctx context.Context, cfg Config, sats []propagation.Satellite, sps f
 	}
 	r.propagateFn = r.propagateRange
 	r.insertFn = r.insertRange
-	r.scanFn = r.scanRange
+	r.scanWFn = r.scanWorkerRange
+	r.mergeFn = r.mergeRange
 	r.refiner = newRefiner(r.prop, threshold, cfg.DurationSeconds)
 	r.stats.GridSlots = r.gset.Slots()
+	// The freeze phase's CSR snapshot is sized to the grid it compacts; the
+	// scan phase gets one private candidate buffer per worker.
+	r.snap = pl.GetSnapshot(r.gset.Slots(), len(sats))
+	r.scanBufs = make([][]uint64, r.workers)
+	for w := range r.scanBufs {
+		r.scanBufs[w] = pl.GetKeyBuf(0)
+	}
+	// Sequential sampling visits steps in order, so consecutive samples of
+	// one satellite differ by the fixed mean-anomaly delta n·s_ps — the
+	// warm-start precondition. Batched sampling interleaves steps and keeps
+	// the cold path.
+	if ws, ok := r.prop.(propagation.WarmStarter); ok && cfg.ParallelSteps <= 1 {
+		r.warm = ws
+		r.kcache = pl.GetKeplerCache(len(sats))
+		for i := range sats {
+			dm := sats[i].MeanMotion() * sps
+			// Seed E so the first step's guess E+DeltaM is the mean anomaly
+			// itself (the e → 0 root); SolveFrom handles the rest.
+			r.kcache[i] = propagation.KeplerCache{E: sats[i].Elements.MeanAnomaly - dm, DeltaM: dm}
+		}
+	}
 	if err := r.cancelled(); err != nil {
 		r.release()
 		return nil, err
@@ -295,11 +322,17 @@ func (r *run) observePhase(p Phase, elapsed time.Duration, conjunctions int) {
 // safe; the run itself must not be used afterwards.
 func (r *run) release() {
 	r.pool.PutGridSet(r.gset)
+	r.pool.PutSnapshot(r.snap)
 	r.pool.PutPairSet(r.pairs)
 	r.pool.PutStates(r.states)
 	r.pool.PutPairBuf(r.pairBuf)
 	r.pool.PutIDIndex(r.idx)
+	for w := range r.scanBufs {
+		r.pool.PutKeyBuf(r.scanBufs[w])
+	}
+	r.pool.PutKeplerCache(r.kcache)
 	r.gset, r.pairs, r.states, r.pairBuf, r.idx = nil, nil, nil, nil, nil
+	r.snap, r.scanBufs, r.kcache = nil, nil, nil
 }
 
 // collectPairs drains the pair set into a pooled buffer owned (and later
@@ -326,11 +359,17 @@ func (r *run) sampleAllSteps() error {
 	}
 	r.stats.Steps = r.steps
 	r.observePhase(PhaseSample, time.Since(tSample), 0)
+	// The freeze share of the sample phase, reported separately so stream
+	// consumers can watch the build/freeze/scan split (see observer.go).
+	r.observePhase(PhaseFreeze, r.stats.Freeze, 0)
 	return nil
 }
 
 // sampleStepsSequential is the one-step-at-a-time sampling loop, with
-// intra-step parallelism and a cancellation check per step.
+// intra-step parallelism and a cancellation check per step. Each step is
+// build → freeze → scan → merge: lock-free insertion into the grid, CSR
+// compaction of the result, a contiguous atomics-free candidate scan into
+// per-worker buffers, and one merge into the shared pair set.
 func (r *run) sampleStepsSequential() error {
 	for step := 0; step < r.steps; step++ {
 		if err := r.cancelled(); err != nil {
@@ -349,16 +388,13 @@ func (r *run) sampleStepsSequential() error {
 		}
 		r.stats.Insertion += time.Since(tIns)
 
+		tFz := time.Now()
+		r.snap.Freeze(r.gset, r.workers)
+		r.stats.Freeze += time.Since(tFz)
+
 		tCD := time.Now()
-		for {
-			overflow, err := r.generateCandidates(uint32(step))
-			if err != nil {
-				return err
-			}
-			if !overflow {
-				break
-			}
-			r.growPairs()
+		if err := r.generateCandidates(uint32(step)); err != nil {
+			return err
 		}
 		r.stats.Detection += time.Since(tCD)
 		r.observeStep(step, len(r.sats)-int(r.oob.Load()-oobBefore))
@@ -367,8 +403,21 @@ func (r *run) sampleStepsSequential() error {
 }
 
 // propagateRange advances satellites [lo, hi) to the published step time.
+// With a warm-capable propagator the previous sample's eccentric anomaly
+// (advanced by the cached per-sample mean-anomaly delta) seeds the Kepler
+// solve; ranges are disjoint across workers, so the cache needs no
+// synchronisation beyond the executor's join.
 func (r *run) propagateRange(lo, hi int) {
 	t := r.stepTime
+	if r.warm != nil {
+		for i := lo; i < hi; i++ {
+			kc := &r.kcache[i]
+			pos, vel, ecc := r.warm.StateWarm(&r.sats[i], t, kc.E+kc.DeltaM)
+			r.states[i].Pos, r.states[i].Vel = pos, vel
+			kc.E = ecc
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		r.states[i].Pos, r.states[i].Vel = r.prop.State(&r.sats[i], t)
 	}
@@ -390,14 +439,28 @@ func (r *run) insertRange(lo, hi int) {
 	}
 }
 
-// scanRange scans grid slots [lo, hi) for candidate pairs at the published
-// step, flagging pair-set overflow.
-func (r *run) scanRange(lo, hi int) {
+// scanWorkerRange scans snapshot slots [lo, hi) for candidate pairs at the
+// published step, appending packed pair keys to worker w's private buffer.
+// No shared state is touched: the merge phase folds the buffers into the
+// pair set after the scan joins.
+func (r *run) scanWorkerRange(w, lo, hi int) {
 	scratch := scanScratchPool.Get().(*scanScratch)
-	if r.scanSlots(r.gset, lo, hi, r.scanStep, scratch) {
-		r.scanFull.Store(true)
-	}
+	r.scanBufs[w] = r.scanSnapshot(r.snap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
 	scanScratchPool.Put(scratch)
+}
+
+// mergeRange folds the per-worker candidate buffers [lo, hi) into the shared
+// pair set, flagging overflow. Whole buffers are the work unit so two workers
+// never interleave within one buffer.
+func (r *run) mergeRange(lo, hi int) {
+	for w := lo; w < hi; w++ {
+		for _, key := range r.scanBufs[w] {
+			if _, err := r.pairs.InsertPacked(key); err != nil {
+				r.scanFull.Store(true)
+				return
+			}
+		}
+	}
 }
 
 // insertAll performs the parallel grid insertion of §IV-A2.
@@ -411,34 +474,93 @@ func (r *run) insertAll() error {
 	return nil
 }
 
-// generateCandidates performs the parallel conjunction-detection scan of
-// §IV-A3 for one step: every occupied slot is examined, and each satellite
-// pairs with every other satellite in its own cell and the neighbouring
-// cells. It reports true when the pair set overflowed (caller grows it and
-// re-runs; insertion is idempotent so the retry is safe).
-func (r *run) generateCandidates(step uint32) (overflow bool, err error) {
+// generateCandidates performs the conjunction-detection scan of §IV-A3 for
+// one step, in two sub-phases over the frozen snapshot. The scan walks every
+// occupied slot's contiguous CSR cell — each satellite pairs with every
+// other satellite in its own cell and the neighbouring cells — appending
+// packed keys to per-worker buffers with no shared writes. The merge then
+// folds those buffers into the pair set; on overflow the set grows and only
+// the merge re-runs (InsertPacked is idempotent, so re-merging buffers whose
+// keys partially landed is safe, and the scan output is still valid).
+func (r *run) generateCandidates(step uint32) error {
 	r.scanStep = step
-	r.scanFull.Store(false)
-	if err := r.exec.ParallelFor(r.ctx, r.gset.Slots(), r.scanFn); err != nil {
-		return false, err
+	for w := range r.scanBufs {
+		r.scanBufs[w] = r.scanBufs[w][:0]
 	}
-	return r.scanFull.Load(), nil
+	if err := r.exec.ParallelForWorkers(r.ctx, r.snap.Slots(), r.scanWFn); err != nil {
+		return err
+	}
+	for {
+		r.scanFull.Store(false)
+		if err := r.exec.ParallelFor(r.ctx, len(r.scanBufs), r.mergeFn); err != nil {
+			return err
+		}
+		if !r.scanFull.Load() {
+			return nil
+		}
+		r.growPairs()
+	}
 }
 
-// scanScratch carries per-worker buffers across scanSlots calls. The
-// process-wide free list keeps the steady state from allocating one per
-// worker per step.
+// scanScratch carries per-worker buffers across scan calls. The process-wide
+// free list keeps the steady state from allocating one per worker per step.
 type scanScratch struct {
 	cellIDs []int32
+	pairs   []uint64 // batch path's packed-key buffer (see batch.go)
 	nbuf    [26]uint64
 }
 
 var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 
-// scanSlots scans slot range [lo, hi) of gs for candidate pairs at the
-// given step, inserting them into the shared pair set. It returns true on
-// pair-set overflow.
-func (r *run) scanSlots(gs *lockfree.GridSet, lo, hi int, step uint32, scratch *scanScratch) (overflow bool) {
+// scanSnapshot scans slot range [lo, hi) of the frozen snapshot sn for
+// candidate pairs at the given step, appending their packed keys to buf. The
+// cell bodies are contiguous CSR slices, so the inner loops are plain array
+// iteration — no atomics, no pointer chasing. Interior cells (the vast
+// majority away from the cube faces) resolve their neighbour keys by pure
+// key arithmetic, skipping the unpack/clamp/repack of the boundary path.
+func (r *run) scanSnapshot(sn *lockfree.GridSnapshot, lo, hi int, step uint32, buf []uint64, scratch *scanScratch) []uint64 {
+	half := r.cfg.UseHalfNeighborhood
+	for s := lo; s < hi; s++ {
+		key, cell := sn.SlotCell(s)
+		if key == lockfree.EmptySlot || len(cell) == 0 {
+			continue
+		}
+		// Pairs within the cell.
+		for i := 0; i < len(cell); i++ {
+			for j := i + 1; j < len(cell); j++ {
+				buf = append(buf, lockfree.PackPair(cell[i], cell[j], step))
+			}
+		}
+		// Pairs with neighbouring cells.
+		var neighbors []uint64
+		if coord := spatial.UnpackKey(key); r.grid.Interior(coord) {
+			if half {
+				neighbors = spatial.HalfNeighborKeysInterior(key, scratch.nbuf[:0])
+			} else {
+				neighbors = spatial.NeighborKeysInterior(key, scratch.nbuf[:0])
+			}
+		} else if half {
+			neighbors = r.grid.HalfNeighborKeys(coord, scratch.nbuf[:0])
+		} else {
+			neighbors = r.grid.NeighborKeys(coord, scratch.nbuf[:0])
+		}
+		for _, nk := range neighbors {
+			for _, nid := range sn.CellByKey(nk) {
+				for _, cid := range cell {
+					buf = append(buf, lockfree.PackPair(cid, nid, step))
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// scanSlotsLinked is the pre-snapshot candidate scan: it walks the live
+// grid set's per-cell linked lists directly and inserts pairs straight into
+// the shared pair set, returning true on overflow. The detectors now scan
+// the frozen CSR snapshot instead (scanSnapshot); this path is kept as the
+// equivalence oracle and the baseline of the linked-vs-CSR microbenchmark.
+func (r *run) scanSlotsLinked(gs *lockfree.GridSet, lo, hi int, step uint32, scratch *scanScratch) (overflow bool) {
 	half := r.cfg.UseHalfNeighborhood
 	for s := lo; s < hi; s++ {
 		key, head := gs.SlotKey(s)
@@ -638,6 +760,76 @@ func parallelFor(ctx context.Context, workers, n int, fn func(lo, hi int)) error
 				fn(lo, hi)
 			}
 		}()
+	}
+	wg.Wait()
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// parallelForWorkers is parallelFor with worker identity: each goroutine is
+// pinned to a distinct w in [0, workers) and passes it to fn, so callers can
+// give every worker a private scratch buffer with no synchronisation. The
+// chunking, cancellation, and run-to-completion semantics match parallelFor.
+func parallelForWorkers(ctx context.Context, workers, n int, fn func(w, lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	done := ctx.Done()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if done == nil {
+			fn(0, 0, n)
+			return nil
+		}
+		chunk := (n + 15) / 16
+		for lo := 0; lo < n; lo += chunk {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+		}
+		return nil
+	}
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
 	}
 	wg.Wait()
 	if done != nil {

@@ -33,10 +33,16 @@ func (f SinkFunc) Emit(c Conjunction) { f(c) }
 type Phase string
 
 // The pipeline phases, in execution order. PhaseFilter occurs only in the
-// hybrid variant.
+// hybrid variant. PhaseFreeze is reported by every variant so stream
+// consumers see a schema-stable phase set: the grid/hybrid detectors report
+// the accumulated per-step grid-compaction time (a component of the sample
+// phase, emitted right after PhaseSample), while the legacy and sieve
+// baselines — which have no grid to freeze — emit it with zero elapsed
+// rather than omitting it.
 const (
 	PhaseAllocate Phase = "allocate" // step 1: validation + upfront allocation
 	PhaseSample   Phase = "sample"   // step 2: propagate + insert + candidates
+	PhaseFreeze   Phase = "freeze"   // step 2 component: CSR snapshot compaction
 	PhaseFilter   Phase = "filter"   // step 3: orbital filter chain (hybrid)
 	PhaseRefine   Phase = "refine"   // step 4: PCA/TCA determination
 )

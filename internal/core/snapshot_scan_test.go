@@ -1,0 +1,202 @@
+package core
+
+// Equivalence oracle for the tentpole refactor: the CSR snapshot scan must
+// produce exactly the candidate set the linked-list scan produced, step for
+// step, in both full- and half-neighbourhood modes — and the warm-started
+// Kepler path must leave the screening output within refinement tolerance of
+// the cold path.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/lockfree"
+	"repro/internal/propagation"
+)
+
+func scanEquivalenceRun(t *testing.T, half bool, n int) *run {
+	t.Helper()
+	sats := benchShellPopulation(t, n)
+	cfg := Config{
+		ThresholdKm:         2,
+		SecondsPerSample:    1,
+		DurationSeconds:     30,
+		Workers:             2,
+		UseHalfNeighborhood: half,
+	}
+	r, err := newRun(context.Background(), cfg, sats, cfg.SecondsPerSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.release)
+	return r
+}
+
+func TestScanSnapshotMatchesLinked(t *testing.T) {
+	for _, half := range []bool{false, true} {
+		name := "full26"
+		if half {
+			name = "half13"
+		}
+		t.Run(name, func(t *testing.T) {
+			r := scanEquivalenceRun(t, half, 600)
+			scratch := &scanScratch{}
+			for step := 0; step < 5; step++ {
+				r.stepTime = float64(step) * r.sps
+				if err := r.exec.ParallelFor(r.ctx, len(r.sats), r.propagateFn); err != nil {
+					t.Fatal(err)
+				}
+				r.gset.ResetParallel(r.workers)
+				if err := r.insertAll(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Reference: the linked-list scan into a fresh pair set.
+				want := lockfree.NewPairSet(r.pairs.Slots())
+				refPairs := r.pairs
+				r.pairs = want
+				if r.scanSlotsLinked(r.gset, 0, r.gset.Slots(), uint32(step), scratch) {
+					t.Fatal("linked scan overflowed")
+				}
+				r.pairs = refPairs
+
+				// Under test: freeze + CSR scan + packed merge.
+				r.snap.Freeze(r.gset, r.workers)
+				got := lockfree.NewPairSet(r.pairs.Slots())
+				buf := r.scanSnapshot(r.snap, 0, r.snap.Slots(), uint32(step), nil, scratch)
+				for _, key := range buf {
+					if _, err := got.InsertPacked(key); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				if got.Len() != want.Len() {
+					t.Fatalf("step %d: CSR scan found %d pairs, linked scan %d", step, got.Len(), want.Len())
+				}
+				for _, p := range want.Items(nil) {
+					if !got.Contains(p.A, p.B, p.Step) {
+						t.Fatalf("step %d: pair (%d, %d, %d) missing from CSR scan", step, p.A, p.B, p.Step)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateCandidatesGrowRetry(t *testing.T) {
+	// A deliberately tiny pair set forces the merge's grow-and-retry loop;
+	// the final candidate set must match a roomy run's exactly.
+	sats := denseShellPopulation(800, 21) // narrow shell: plenty of candidates
+	base := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 20, Workers: 2}
+	tiny := base
+	tiny.PairSlotHint = 2
+
+	roomy, err := NewGrid(base).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewGrid(tiny).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Stats.PairSetGrowths == 0 {
+		t.Fatal("2-slot hint never grew — the retry path was not exercised")
+	}
+	if grown.Stats.CandidatePairs != roomy.Stats.CandidatePairs {
+		t.Fatalf("grown run found %d candidates, roomy run %d",
+			grown.Stats.CandidatePairs, roomy.Stats.CandidatePairs)
+	}
+	assertSameConjunctions(t, roomy.Conjunctions, grown.Conjunctions)
+}
+
+func TestWarmStartMatchesColdScreen(t *testing.T) {
+	// Sequential sampling warm-starts the Kepler solve; batched sampling
+	// stays cold. Both must report the same conjunctions (within refinement
+	// tolerance — the solvers agree to ~1e-12 rad).
+	sats := benchShellPopulation(t, 500)
+	warmCfg := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 120, Workers: 2}
+	coldCfg := warmCfg
+	coldCfg.ParallelSteps = 4 // batched ⇒ cold path
+
+	warm, err := NewGrid(warmCfg).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewGrid(coldCfg).Screen(sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameConjunctions(t, cold.Conjunctions, warm.Conjunctions)
+}
+
+func TestWarmStartRespectsExplicitSolver(t *testing.T) {
+	// An explicitly configured solver must reach every solve even on the
+	// sequential (warm-capable) path: a deliberately coarse solver has to
+	// change the sampled positions relative to the default.
+	sats := benchShellPopulation(t, 2)
+	cfg := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 5, Workers: 1}
+
+	var defaultProp propagation.Propagator = propagation.TwoBody{}
+	rDefault, err := newRun(context.Background(), cfg, sats, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rDefault.release()
+	if rDefault.warm == nil {
+		t.Fatal("default two-body sequential run did not take the warm path")
+	}
+
+	coarse := cfg
+	coarse.Propagator = propagation.TwoBody{Solver: coarseSolver{}}
+	rCoarse, err := newRun(context.Background(), coarse, sats, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rCoarse.release()
+	// The warm path stays available (StateWarm handles the explicit solver
+	// internally), so verify by outcome: propagate one step both ways and
+	// demand the coarse solver visibly moved the result.
+	rDefault.stepTime, rCoarse.stepTime = 100, 100
+	rDefault.propagateRange(0, len(sats))
+	rCoarse.propagateRange(0, len(sats))
+	if d := rDefault.states[0].Pos.Dist(rCoarse.states[0].Pos); d < 1e-6 {
+		t.Fatalf("coarse explicit solver produced the default position (Δ=%v km) — it was bypassed", d)
+	}
+	_ = defaultProp
+}
+
+// coarseSolver is an intentionally bad Kepler solver: one fixed-point sweep.
+type coarseSolver struct{}
+
+func (coarseSolver) Name() string { return "coarse" }
+func (coarseSolver) Solve(m, e float64) float64 {
+	return m + e*math.Sin(m) // first-order only: ~e² radians of error
+}
+
+// assertSameConjunctions compares two conjunction lists pairwise with the
+// differential battery's tolerances (same TCA within a sampling step, PCA
+// within metres).
+func assertSameConjunctions(t *testing.T, want, got []Conjunction) {
+	t.Helper()
+	type pk struct{ a, b int32 }
+	index := map[pk]Conjunction{}
+	for _, c := range want {
+		index[pk{c.A, c.B}] = c
+	}
+	if len(want) != len(got) {
+		t.Fatalf("conjunction counts differ: want %d, got %d", len(want), len(got))
+	}
+	for _, c := range got {
+		w, ok := index[pk{c.A, c.B}]
+		if !ok {
+			t.Fatalf("unexpected conjunction (%d, %d)", c.A, c.B)
+		}
+		if math.Abs(c.TCA-w.TCA) > 1.5 {
+			t.Errorf("pair (%d, %d): TCA %v vs %v", c.A, c.B, c.TCA, w.TCA)
+		}
+		if math.Abs(c.PCA-w.PCA) > 1e-3 {
+			t.Errorf("pair (%d, %d): PCA %v vs %v", c.A, c.B, c.PCA, w.PCA)
+		}
+	}
+}

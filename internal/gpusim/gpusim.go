@@ -199,6 +199,69 @@ func (d *Device) ParallelFor(ctx context.Context, n int, fn func(lo, hi int)) er
 	return nil
 }
 
+// ParallelForWorkers is ParallelFor with worker identity: each resident
+// runner (the simulated SM) is pinned to a distinct w in [0, Workers()) and
+// passes it to fn, so callers can hand every runner a private scratch
+// buffer. Grid-stride block dispatch, cancellation, and kernel accounting
+// match ParallelFor.
+func (d *Device) ParallelForWorkers(ctx context.Context, n int, fn func(w, lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	done := ctx.Done()
+	d.launches.Add(1)
+	start := time.Now()
+	tpb := d.ThreadsPerBlock
+	if tpb <= 0 {
+		tpb = 512
+	}
+	blocks := (n + tpb - 1) / tpb
+	resident := d.SMs
+	if resident <= 0 {
+		resident = 1
+	}
+	if resident > blocks {
+		resident = blocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < resident; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				lo := b * tpb
+				hi := lo + tpb
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	d.kernelNs.Add(int64(time.Since(start)))
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
 // Workers reports the concurrency the executor offers (for sizing scratch
 // structures); part of the core Executor interface.
 func (d *Device) Workers() int {

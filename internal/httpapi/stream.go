@@ -25,7 +25,9 @@ import (
 //   - "progress":    step, steps, completed, pairs (one per sampled step,
 //     thinned to ~100 lines for long runs)
 //   - "phase":       phase, elapsed_seconds, pairs (end of each pipeline
-//     phase: allocate, sample, filter, refine)
+//     phase: allocate, sample, freeze, filter, refine; every variant emits
+//     the full set — baselines without a grid report freeze with zero
+//     elapsed rather than omitting it)
 //   - "conjunction": conjunction (as refinement confirms it; unordered)
 //   - "result":      result (the run summary; its conjunction list is
 //     omitted — the events above already carried every one)

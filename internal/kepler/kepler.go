@@ -238,6 +238,43 @@ func (d Danby) Solve(m, e float64) float64 {
 	return mathx.NormalizeAngle(ecc)
 }
 
+// SolveFrom solves Kepler's equation starting from an explicit guess of the
+// eccentric anomaly — the warm-start entry point for samplers whose
+// consecutive mean anomalies differ by a small fixed delta (the previous
+// step's E advanced by n·s_ps lands within ~e·n·s_ps of the root). The guess
+// is re-centred to within π of the normalised mean anomaly (the root always
+// satisfies |E − M| ≤ e < π, so this also heals the wrap when M crosses 2π
+// between steps), then refined by Newton to the same 1e-13 residual the
+// contour solver polishes to. A guess too cold to converge in a few
+// iterations falls back to Default(), so accuracy never degrades below the
+// cold-start solver.
+func SolveFrom(m, e, guess float64) float64 {
+	if e < 1e-14 {
+		return mathx.NormalizeAngle(m)
+	}
+	mn := mathx.NormalizeAngle(m)
+	g := mathx.NormalizeAngle(guess)
+	switch {
+	case g-mn > math.Pi:
+		g -= mathx.TwoPi
+	case mn-g > math.Pi:
+		g += mathx.TwoPi
+	}
+	const tol = 1e-13
+	for i := 0; i < 8; i++ {
+		se, ce := math.Sincos(g)
+		f := g - e*se - mn
+		if math.Abs(f) < tol {
+			return mathx.NormalizeAngle(g)
+		}
+		g -= f / (1 - e*ce)
+	}
+	if Residual(g, mn, e) < 1e-12 {
+		return mathx.NormalizeAngle(g)
+	}
+	return Default().Solve(mn, e)
+}
+
 // Residual returns |E − e·sin E − M| with both sides angle-normalised; the
 // measure all accuracy tests and the solver ablation report use.
 func Residual(ecc, m, e float64) float64 {

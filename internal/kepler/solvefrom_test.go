@@ -1,0 +1,81 @@
+package kepler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// SolveFrom is the warm-start entry: a good guess gets polished by Newton, a
+// bad one must fall back to the full solver, and either way the residual
+// contract of the Solver interface holds.
+
+func TestSolveFromGoodGuessResidual(t *testing.T) {
+	for _, e := range []float64{0, 1e-6, 0.01, 0.1, 0.5, 0.9} {
+		for m := -8.0; m <= 8.0; m += 0.37 {
+			exact := Default().Solve(m, e)
+			// A guess perturbed by a typical per-step mean-anomaly delta.
+			got := SolveFrom(m, e, exact+1e-3)
+			if r := Residual(got, m, e); r > 1e-10 {
+				t.Errorf("SolveFrom(m=%v, e=%v) residual %v", m, e, r)
+			}
+		}
+	}
+}
+
+func TestSolveFromBadGuessFallsBack(t *testing.T) {
+	// Guesses that no Newton polish can save — far off, NaN, Inf — must
+	// still produce a root via the fallback solver.
+	for _, guess := range []float64{1e9, -1e9, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, e := range []float64{0.01, 0.3, 0.95} {
+			m := 2.5
+			got := SolveFrom(m, e, guess)
+			if r := Residual(got, m, e); r > 1e-10 || math.IsNaN(got) {
+				t.Errorf("SolveFrom(m=%v, e=%v, guess=%v) = %v, residual %v", m, e, guess, got, r)
+			}
+		}
+	}
+}
+
+func TestSolveFromMatchesSolveCircular(t *testing.T) {
+	// e ≈ 0: E = M exactly (normalized), whatever the guess.
+	for m := -7.0; m <= 7.0; m += 0.61 {
+		got := SolveFrom(m, 0, 42.0)
+		want := mathx.NormalizeAngle(m)
+		if mathx.AngleDiff(got, want) > 1e-15 {
+			t.Errorf("SolveFrom(m=%v, e=0) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestSolveFromAgreesWithDefault(t *testing.T) {
+	// The warm path may not drift from the cold solver: sweeping a whole
+	// orbit with each step's result seeding the next (exactly the detector's
+	// usage) must stay within refinement tolerance of cold solves.
+	const e = 0.05
+	const dm = 0.001 // ~1 s step for a LEO orbit
+	guess := 0.0
+	for m := 0.0; m < 2*math.Pi; m += dm {
+		warm := SolveFrom(m, e, guess+dm)
+		cold := Default().Solve(m, e)
+		if d := mathx.AngleDiff(warm, cold); d > 1e-9 {
+			t.Fatalf("m=%v: warm %v vs cold %v (Δ=%v)", m, warm, cold, d)
+		}
+		guess = warm
+	}
+}
+
+func TestSolveFromUnnormalizedInputs(t *testing.T) {
+	// Both m and the guess arrive unnormalized after many orbits; the root
+	// must match the normalized solve.
+	const e = 0.2
+	for _, k := range []float64{1, 10, 1000} {
+		m := 1.3 + k*2*math.Pi
+		got := SolveFrom(m, e, m) // guess also many revolutions out
+		want := Default().Solve(1.3, e)
+		if d := mathx.AngleDiff(got, want); d > 1e-9 {
+			t.Errorf("k=%v: got %v, want %v (Δ=%v)", k, got, want, d)
+		}
+	}
+}

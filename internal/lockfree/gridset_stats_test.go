@@ -1,0 +1,137 @@
+package lockfree
+
+import (
+	"testing"
+
+	"repro/internal/vec3"
+)
+
+// Stats counter coverage: the probe/insert counters feed the slot-factor
+// ablation (DESIGN.md §5) and the paperbench occupancy tables, so their
+// arithmetic is pinned here.
+
+func TestGridSetStatsExactCounters(t *testing.T) {
+	g := NewGridSet(1024, 16) // roomy table: no probe chains expected
+	for i := int32(0); i < 8; i++ {
+		if err := g.Insert(uint64(i)+1, i, i, vec3.Zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Inserts != 8 {
+		t.Errorf("Inserts = %d, want 8", st.Inserts)
+	}
+	if st.Probes < st.Inserts {
+		t.Errorf("Probes = %d < Inserts = %d: every insert probes at least once", st.Probes, st.Inserts)
+	}
+	if st.OccupiedSlot != 8 {
+		t.Errorf("OccupiedSlot = %d, want 8 (distinct cells)", st.OccupiedSlot)
+	}
+	if want := float64(st.Probes) / float64(st.Inserts); st.AvgProbes != want { //lint:floateq-ok — exact ratio of the same integers
+		t.Errorf("AvgProbes = %v, want Probes/Inserts = %v", st.AvgProbes, want)
+	}
+}
+
+func TestGridSetStatsSameCellInserts(t *testing.T) {
+	// Re-inserting into an existing cell still counts an insert and at least
+	// one probe, but occupies no new slot.
+	g := NewGridSet(64, 8)
+	for i := int32(0); i < 5; i++ {
+		if err := g.Insert(42, i, i, vec3.Zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Inserts != 5 || st.OccupiedSlot != 1 {
+		t.Errorf("Inserts = %d, OccupiedSlot = %d; want 5 inserts into 1 slot", st.Inserts, st.OccupiedSlot)
+	}
+}
+
+func TestGridSetStatsProbeChainsUnderLoad(t *testing.T) {
+	// A near-full table forces linear-probe chains: total probes must exceed
+	// inserts and AvgProbes must reflect it.
+	g := NewGridSet(64, 64)
+	slots := g.Slots()
+	for i := 0; i < slots-1; i++ {
+		if err := g.Insert(uint64(i)+1, int32(i), int32(i), vec3.Zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Probes <= st.Inserts {
+		t.Errorf("Probes = %d, Inserts = %d: a %d/%d full table must chain",
+			st.Probes, st.Inserts, slots-1, slots)
+	}
+	if st.AvgProbes <= 1 {
+		t.Errorf("AvgProbes = %v, want > 1 under load", st.AvgProbes)
+	}
+}
+
+func TestGridSetStatsEmpty(t *testing.T) {
+	g := NewGridSet(16, 4)
+	st := g.Stats()
+	if st.Inserts != 0 || st.Probes != 0 || st.AvgProbes != 0 || st.OccupiedSlot != 0 {
+		t.Errorf("stats of an empty set = %+v, want all zero", st)
+	}
+}
+
+func TestGridSetResetClearsCounters(t *testing.T) {
+	for name, reset := range map[string]func(*GridSet){
+		"sequential": func(g *GridSet) { g.Reset() },
+		// Small tables take ResetParallel's sequential fallback; the counter
+		// contract is identical.
+		"parallel-fallback": func(g *GridSet) { g.ResetParallel(4) },
+	} {
+		g := NewGridSet(64, 8)
+		for i := int32(0); i < 8; i++ {
+			if err := g.Insert(uint64(i)+1, i, i, vec3.Zero); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reset(g)
+		st := g.Stats()
+		if st.Inserts != 0 || st.Probes != 0 || st.AvgProbes != 0 {
+			t.Errorf("%s: counters after reset = %+v, want zero", name, st)
+		}
+	}
+}
+
+func TestGridSetResetParallelPartialChunks(t *testing.T) {
+	// Worker counts that do not divide the slot count leave a short tail
+	// chunk; every slot must still be cleared and the set reusable.
+	g := NewGridSet(1<<14, 8) // at the parallel threshold: chunked path
+	for i := int32(0); i < 8; i++ {
+		if err := g.Insert(uint64(i)*1000+1, i, i, vec3.Zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.ResetParallel(3) // 3 ∤ 2^14: uneven chunks
+	for s := 0; s < g.Slots(); s++ {
+		if k, head := g.SlotKey(s); k != EmptySlot || head != -1 {
+			t.Fatalf("slot %d survived partial-chunk reset: key=%#x head=%d", s, k, head)
+		}
+	}
+	if st := g.Stats(); st.Inserts != 0 || st.Probes != 0 {
+		t.Errorf("counters after parallel reset = %+v, want zero", st)
+	}
+	// Reuse after the parallel reset.
+	if err := g.Insert(77, 0, 5, vec3.Zero); err != nil {
+		t.Fatal(err)
+	}
+	if ids := collectCell(g, 77); !ids[5] {
+		t.Error("insert after parallel reset failed")
+	}
+}
+
+func TestGridSetResetParallelMoreWorkersThanMeaningful(t *testing.T) {
+	g := NewGridSet(1<<14, 4)
+	if err := g.Insert(9, 0, 1, vec3.Zero); err != nil {
+		t.Fatal(err)
+	}
+	g.ResetParallel(1 << 10) // far more workers than useful must not panic or skip slots
+	for s := 0; s < g.Slots(); s++ {
+		if k, _ := g.SlotKey(s); k != EmptySlot {
+			t.Fatalf("slot %d survived reset with oversubscribed workers", s)
+		}
+	}
+}

@@ -116,6 +116,16 @@ func (p *PairSet) Insert(a, b int32, step uint32) (added bool, err error) {
 	if step > MaxStep {
 		return false, fmt.Errorf("lockfree: step %d exceeds maximum %d", step, MaxStep)
 	}
+	return p.InsertPacked(PackPair(a, b, step))
+}
+
+// InsertPacked is Insert for a key already built with PackPair, skipping the
+// argument validation — the detectors' scan phase batches packed keys into
+// per-worker buffers and merges them here. The key must originate from
+// PackPair with distinct, in-range IDs (such a key can never equal the
+// EmptySlot sentinel). Re-inserting keys already present is harmless, which
+// is what makes the merge retry after a grow safe without a rescan.
+func (p *PairSet) InsertPacked(key uint64) (added bool, err error) {
 	if p.count.Load() >= p.loadLimit {
 		// Fail fast before probe chains blow up near full occupancy. A
 		// duplicate of an existing key is reported as full too — callers
@@ -123,7 +133,6 @@ func (p *PairSet) Insert(a, b int32, step uint32) (added bool, err error) {
 		// race-free.
 		return false, ErrFull
 	}
-	key := PackPair(a, b, step)
 	slot := hash.Mix64(key) & p.mask
 	for probed := uint64(0); probed <= p.mask; probed++ {
 		k := p.slots[slot].Load()

@@ -1,0 +1,77 @@
+package lockfree
+
+import "testing"
+
+// InsertPacked is the merge half of the scan/merge split: per-worker scan
+// buffers hold already-packed keys, and the merge replays them — possibly
+// more than once after a grow — so idempotence and dedup against Insert's
+// packing are the contract pinned here.
+
+func TestPairSetInsertPackedMatchesInsert(t *testing.T) {
+	a := NewPairSet(64)
+	b := NewPairSet(64)
+	pairs := []struct {
+		x, y int32
+		step uint32
+	}{
+		{1, 2, 0}, {2, 1, 0}, {1, 2, 5}, {3, 4, 5}, {1, 4, 1},
+	}
+	for _, p := range pairs {
+		if _, err := a.Insert(p.x, p.y, p.step); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.InsertPacked(PackPair(p.x, p.y, p.step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("Insert set has %d items, InsertPacked set %d", a.Len(), b.Len())
+	}
+	for _, p := range a.Items(nil) {
+		if !b.Contains(p.A, p.B, p.Step) {
+			t.Errorf("pair (%d, %d, %d) missing from InsertPacked set", p.A, p.B, p.Step)
+		}
+	}
+}
+
+func TestPairSetInsertPackedIdempotent(t *testing.T) {
+	p := NewPairSet(64)
+	key := PackPair(7, 9, 3)
+	added, err := p.InsertPacked(key)
+	if err != nil || !added {
+		t.Fatalf("first insert: added=%v err=%v", added, err)
+	}
+	// Re-inserting — a merge retry replaying a buffer whose keys partially
+	// landed before an overflow — must report not-added and change nothing.
+	for i := 0; i < 3; i++ {
+		added, err = p.InsertPacked(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added {
+			t.Fatal("duplicate packed key reported as added")
+		}
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate inserts, want 1", p.Len())
+	}
+	if !p.Contains(7, 9, 3) {
+		t.Error("pair lost after duplicate inserts")
+	}
+}
+
+func TestPairSetInsertPackedFull(t *testing.T) {
+	p := NewPairSet(4)
+	var sawErr error
+	for i := int32(0); i < 64 && sawErr == nil; i++ {
+		_, sawErr = p.InsertPacked(PackPair(i, i+1, 0))
+	}
+	if sawErr == nil {
+		t.Fatal("no overflow from a 4-slot set")
+	}
+	// Overflow must be the sentinel ErrFull so the merge's grow-and-retry
+	// path can match on it.
+	if sawErr != ErrFull {
+		t.Fatalf("overflow error = %v, want ErrFull", sawErr)
+	}
+}

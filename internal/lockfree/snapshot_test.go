@@ -1,0 +1,224 @@
+package lockfree
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/vec3"
+)
+
+// snapCell returns the snapshot cell for key as a set, mirroring collectCell.
+func snapCell(sn *GridSnapshot, key uint64) map[int32]bool {
+	ids := map[int32]bool{}
+	for _, id := range sn.CellByKey(key) {
+		ids[id] = true
+	}
+	return ids
+}
+
+func TestSnapshotFreezeMatchesGrid(t *testing.T) {
+	g := NewGridSet(64, 32)
+	type ins struct {
+		key uint64
+		id  int32
+		pos vec3.V
+	}
+	inserts := []ins{
+		{100, 10, vec3.New(1, 2, 3)},
+		{100, 42, vec3.New(4, 5, 6)},
+		{100, 7, vec3.New(7, 8, 9)},
+		{200, 3, vec3.New(-1, 0, 1)},
+		{300, 5, vec3.New(0.5, -0.5, 2.5)},
+	}
+	for i, in := range inserts {
+		if err := g.Insert(in.key, int32(i), in.id, in.pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sn := NewGridSnapshot(0, 0) // undersized on purpose: Freeze must grow it
+	sn.Freeze(g, 1)
+
+	if sn.Slots() != g.Slots() {
+		t.Fatalf("snapshot slots = %d, want %d", sn.Slots(), g.Slots())
+	}
+	if sn.Entries() != len(inserts) {
+		t.Fatalf("snapshot entries = %d, want %d", sn.Entries(), len(inserts))
+	}
+	for _, key := range []uint64{100, 200, 300} {
+		if got, want := snapCell(sn, key), collectCell(g, key); len(got) != len(want) {
+			t.Fatalf("cell %d: snapshot %v vs grid %v", key, got, want)
+		} else {
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("cell %d: snapshot %v missing id %d", key, got, id)
+				}
+			}
+		}
+	}
+	if sn.CellByKey(999) != nil {
+		t.Error("missing cell returned a non-nil slice")
+	}
+
+	// SoA positions line up with their IDs.
+	ids, x, y, z := sn.Positions()
+	if len(ids) != len(inserts) {
+		t.Fatalf("Positions length = %d, want %d", len(ids), len(inserts))
+	}
+	want := map[int32]vec3.V{}
+	for _, in := range inserts {
+		want[in.id] = in.pos
+	}
+	for i, id := range ids {
+		if p := vec3.New(x[i], y[i], z[i]); p != want[id] {
+			t.Errorf("id %d at (%v), want %v", id, p, want[id])
+		}
+	}
+}
+
+func TestSnapshotCellsContiguous(t *testing.T) {
+	// Every occupied slot's CSR range must tile [0, Entries()) exactly once.
+	g := NewGridSet(256, 512)
+	rng := mathx.NewSplitMix64(7)
+	n := 0
+	for i := 0; i < 512; i++ {
+		key := rng.Uint64()%97 + 1
+		if err := g.Insert(key, int32(i), int32(i), vec3.Zero); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	sn := NewGridSnapshot(0, 0)
+	sn.Freeze(g, 1)
+	if sn.Entries() != n {
+		t.Fatalf("entries = %d, want %d", sn.Entries(), n)
+	}
+	covered := make([]bool, n)
+	for s := 0; s < sn.Slots(); s++ {
+		lo, hi := sn.CellRange(s)
+		if lo > hi {
+			t.Fatalf("slot %d: inverted range [%d, %d)", s, lo, hi)
+		}
+		key, cell := sn.SlotCell(s)
+		if key == EmptySlot && len(cell) != 0 {
+			t.Fatalf("slot %d: empty slot with %d entries", s, len(cell))
+		}
+		for at := lo; at < hi; at++ {
+			if covered[at] {
+				t.Fatalf("entry index %d covered twice", at)
+			}
+			covered[at] = true
+		}
+	}
+	for at, ok := range covered {
+		if !ok {
+			t.Fatalf("entry index %d not covered by any cell", at)
+		}
+	}
+}
+
+func TestSnapshotFreezeParallelEquivalent(t *testing.T) {
+	// Above freezeParallelThreshold slots the parallel three-phase prefix sum
+	// runs; its output must match a sequential freeze of the same grid.
+	slots := freezeParallelThreshold * 2
+	g := NewGridSet(slots, 4096)
+	rng := mathx.NewSplitMix64(11)
+	for i := 0; i < 4096; i++ {
+		key := rng.Uint64()%5000 + 1
+		if err := g.Insert(key, int32(i), int32(i), vec3.New(float64(i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := NewGridSnapshot(0, 0)
+	seq.Freeze(g, 1)
+	par := NewGridSnapshot(0, 0)
+	par.Freeze(g, 8)
+
+	if seq.Entries() != par.Entries() {
+		t.Fatalf("entries: sequential %d vs parallel %d", seq.Entries(), par.Entries())
+	}
+	for s := 0; s < seq.Slots(); s++ {
+		kSeq, cSeq := seq.SlotCell(s)
+		kPar, cPar := par.SlotCell(s)
+		if kSeq != kPar || len(cSeq) != len(cPar) {
+			t.Fatalf("slot %d: sequential (key %#x, %d ids) vs parallel (key %#x, %d ids)",
+				s, kSeq, len(cSeq), kPar, len(cPar))
+		}
+		for i := range cSeq {
+			if cSeq[i] != cPar[i] {
+				t.Fatalf("slot %d id %d: sequential %d vs parallel %d", s, i, cSeq[i], cPar[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotReuseAcrossFreezes(t *testing.T) {
+	// A pooled snapshot serves grids of different sizes back to back; stale
+	// contents from a larger previous freeze must never leak through.
+	big := NewGridSet(256, 128)
+	for i := int32(0); i < 128; i++ {
+		if err := big.Insert(uint64(i%50)+1, i, i, vec3.Zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := NewGridSnapshot(0, 0)
+	sn.Freeze(big, 1)
+	if sn.Entries() != 128 {
+		t.Fatalf("first freeze entries = %d, want 128", sn.Entries())
+	}
+
+	small := NewGridSet(16, 4)
+	if err := small.Insert(7, 0, 99, vec3.New(1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sn.Freeze(small, 1)
+	if sn.Slots() != small.Slots() {
+		t.Fatalf("reused snapshot slots = %d, want %d", sn.Slots(), small.Slots())
+	}
+	if sn.Entries() != 1 {
+		t.Fatalf("reused snapshot entries = %d, want 1", sn.Entries())
+	}
+	if ids := snapCell(sn, 7); len(ids) != 1 || !ids[99] {
+		t.Fatalf("cell 7 = %v, want {99}", ids)
+	}
+	if sn.CellByKey(1) != nil {
+		t.Error("stale cell from the previous freeze leaked through")
+	}
+}
+
+func TestSnapshotEmptyGrid(t *testing.T) {
+	g := NewGridSet(16, 4)
+	sn := NewGridSnapshot(0, 0)
+	sn.Freeze(g, 1)
+	if sn.Entries() != 0 {
+		t.Fatalf("entries = %d, want 0", sn.Entries())
+	}
+	for s := 0; s < sn.Slots(); s++ {
+		if key, cell := sn.SlotCell(s); key != EmptySlot || len(cell) != 0 {
+			t.Fatalf("slot %d occupied in empty snapshot", s)
+		}
+	}
+}
+
+func TestSnapshotProbesAcrossCollisions(t *testing.T) {
+	// CellByKey must follow the same linear-probe chain as the live table:
+	// insert colliding keys, freeze, and look each one up in the snapshot.
+	g := NewGridSet(8, 16) // tiny table forces probe chains
+	keys := []uint64{1, 9, 17, 25, 33, 41}
+	for i, key := range keys {
+		if err := g.Insert(key, int32(i), int32(i), vec3.Zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := NewGridSnapshot(0, 0)
+	sn.Freeze(g, 1)
+	for i, key := range keys {
+		ids := sn.CellByKey(key)
+		if len(ids) != 1 || ids[0] != int32(i) {
+			t.Fatalf("key %d: got %v, want [%d]", key, ids, i)
+		}
+	}
+	if sn.CellByKey(49) != nil {
+		t.Error("absent colliding key resolved to a cell")
+	}
+}

@@ -28,6 +28,10 @@
 //     buffers are fully overwritten by the propagation phase before any
 //     read, Pair buffers are handed out with length 0.
 //   - ID-index maps are cleared on Put.
+//   - CSR snapshots, pair-key buffers and Kepler warm-start caches are
+//     returned with stale contents: Freeze overwrites the snapshot, key
+//     buffers are handed out with length 0, and the detectors reinitialise
+//     the caches before the first step (DESIGN.md §10).
 //
 // All methods are safe for concurrent use; the freelists are small
 // mutex-protected stacks (Get/Put are rare — per run, not per step — so
@@ -47,10 +51,12 @@ import (
 // the grid freelist must absorb a whole batch; maps retain their buckets
 // forever, so only a few are kept.
 const (
-	maxIdleGridSets = 64
-	maxIdlePairSets = 16
-	maxIdleBuffers  = 16
-	maxIdleIndexes  = 8
+	maxIdleGridSets  = 64
+	maxIdlePairSets  = 16
+	maxIdleBuffers   = 16
+	maxIdleIndexes   = 8
+	maxIdleSnapshots = 64  // batched runs hold ParallelSteps snapshots, like grids
+	maxIdleKeyBufs   = 128 // runs hold one per worker; device backends have many workers
 )
 
 // oversizeFactor bounds how much larger than requested a reused structure
@@ -64,12 +70,15 @@ const oversizeFactor = 8
 type Pool struct {
 	disabled bool
 
-	mu       sync.Mutex
-	gridSets []*lockfree.GridSet
-	pairSets []*lockfree.PairSet
-	states   [][]propagation.State
-	pairBufs [][]lockfree.Pair
-	indexes  []map[int32]int32
+	mu        sync.Mutex
+	gridSets  []*lockfree.GridSet
+	pairSets  []*lockfree.PairSet
+	states    [][]propagation.State
+	pairBufs  [][]lockfree.Pair
+	indexes   []map[int32]int32
+	snapshots []*lockfree.GridSnapshot
+	keyBufs   [][]uint64
+	kcaches   [][]propagation.KeplerCache
 
 	gets atomic.Int64
 	puts atomic.Int64
@@ -116,6 +125,9 @@ func (p *Pool) Drain() {
 	p.states = nil
 	p.pairBufs = nil
 	p.indexes = nil
+	p.snapshots = nil
+	p.keyBufs = nil
+	p.kcaches = nil
 	p.mu.Unlock()
 }
 
@@ -321,6 +333,147 @@ func (p *Pool) PutPairBuf(b []lockfree.Pair) {
 	p.mu.Lock()
 	if len(p.pairBufs) < maxIdleBuffers {
 		p.pairBufs = append(p.pairBufs, b)
+	}
+	p.mu.Unlock()
+}
+
+// GetSnapshot returns a CSR grid snapshot with capacity for at least
+// slotHint slots and entryCap entries. Contents are stale; Freeze overwrites
+// everything it exposes.
+func (p *Pool) GetSnapshot(slotHint, entryCap int) *lockfree.GridSnapshot {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		best := -1
+		for i, sn := range p.snapshots {
+			if sn.SlotCapacity() < slotHint || sn.EntryCapacity() < entryCap || sn.SlotCapacity() > oversizeFactor*(slotHint+1) {
+				continue
+			}
+			if best < 0 || sn.SlotCapacity() < p.snapshots[best].SlotCapacity() {
+				best = i
+			}
+		}
+		if best >= 0 {
+			sn := p.snapshots[best]
+			last := len(p.snapshots) - 1
+			p.snapshots[best] = p.snapshots[last]
+			p.snapshots[last] = nil
+			p.snapshots = p.snapshots[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return sn
+		}
+		p.mu.Unlock()
+	}
+	return lockfree.NewGridSnapshot(slotHint, entryCap)
+}
+
+// PutSnapshot returns a snapshot to the pool. nil is ignored.
+func (p *Pool) PutSnapshot(sn *lockfree.GridSnapshot) {
+	if sn == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.snapshots) < maxIdleSnapshots {
+		p.snapshots = append(p.snapshots, sn)
+	}
+	p.mu.Unlock()
+}
+
+// GetKeyBuf returns a zero-length packed pair-key buffer with capacity at
+// least capHint — the per-worker candidate buffers of the scan phase. They
+// grow by append inside the workers, so a warm pool converges on the
+// population's natural candidate volume and stops allocating.
+func (p *Pool) GetKeyBuf(capHint int) []uint64 {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		best := -1
+		for i, b := range p.keyBufs {
+			if cap(b) < capHint {
+				continue
+			}
+			if best < 0 || cap(b) < cap(p.keyBufs[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			b := p.keyBufs[best]
+			last := len(p.keyBufs) - 1
+			p.keyBufs[best] = p.keyBufs[last]
+			p.keyBufs[last] = nil
+			p.keyBufs = p.keyBufs[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return b[:0]
+		}
+		p.mu.Unlock()
+	}
+	return make([]uint64, 0, capHint)
+}
+
+// PutKeyBuf returns a pair-key buffer to the pool. nil is ignored.
+func (p *Pool) PutKeyBuf(b []uint64) {
+	if b == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.keyBufs) < maxIdleKeyBufs {
+		p.keyBufs = append(p.keyBufs, b)
+	}
+	p.mu.Unlock()
+}
+
+// GetKeplerCache returns a warm-start cache of length n with stale contents;
+// the detectors reinitialise every entry before the first sampling step.
+func (p *Pool) GetKeplerCache(n int) []propagation.KeplerCache {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		best := -1
+		for i, c := range p.kcaches {
+			if cap(c) < n || cap(c) > oversizeFactor*(n+1) {
+				continue
+			}
+			if best < 0 || cap(c) < cap(p.kcaches[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			c := p.kcaches[best]
+			last := len(p.kcaches) - 1
+			p.kcaches[best] = p.kcaches[last]
+			p.kcaches[last] = nil
+			p.kcaches = p.kcaches[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return c[:n]
+		}
+		p.mu.Unlock()
+	}
+	return make([]propagation.KeplerCache, n)
+}
+
+// PutKeplerCache returns a warm-start cache to the pool. nil is ignored.
+func (p *Pool) PutKeplerCache(c []propagation.KeplerCache) {
+	if c == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.kcaches) < maxIdleBuffers {
+		p.kcaches = append(p.kcaches, c)
 	}
 	p.mu.Unlock()
 }

@@ -94,6 +94,30 @@ type Propagator interface {
 // constructed without an explicit one.
 func defaultKeplerSolver() kepler.Solver { return kepler.Default() }
 
+// KeplerCache carries one satellite's warm-start state across consecutive
+// sampling steps: the eccentric anomaly solved at the previous sample and
+// the fixed per-sample mean-anomaly advance n·s_ps. The detectors keep one
+// entry per satellite (pooled alongside the state buffers) and predict the
+// next sample's root as E + DeltaM, which a couple of Newton iterations
+// polish — instead of a cold contour solve per satellite per step.
+type KeplerCache struct {
+	E      float64 // eccentric anomaly at the previous sample (rad)
+	DeltaM float64 // mean-anomaly advance per sample, n·s_ps (rad)
+}
+
+// WarmStarter is implemented by propagators whose Kepler solve can be
+// warm-started from a predicted eccentric anomaly. Sequential samplers use
+// it with a per-satellite KeplerCache; out-of-order samplers (batched steps)
+// must stick to State, since their per-satellite guesses are stale.
+type WarmStarter interface {
+	Propagator
+	// StateWarm is State with a warm-started Kepler solve: guess predicts
+	// the eccentric anomaly at t (any finite value is safe — a cold guess
+	// falls back to the full solver). It returns the state plus the solved
+	// eccentric anomaly, which seeds the next sample's guess.
+	StateWarm(s *Satellite, t, guess float64) (pos, vel vec3.V, ecc float64)
+}
+
 // TwoBody is unperturbed Keplerian propagation: M(t) = M₀ + n·t, E from the
 // configured Kepler solver, then the cached perifocal basis gives the state.
 type TwoBody struct {
@@ -114,6 +138,21 @@ func (p TwoBody) State(s *Satellite, t float64) (pos, vel vec3.V) {
 	ecc := solver.Solve(m, s.ecc)
 	f := s.Elements.TrueFromEccentric(ecc)
 	return stateFromTrue(s, f, s.basisP, s.basisQ)
+}
+
+// StateWarm implements WarmStarter. An explicitly configured Solver wins
+// over warm-starting — the solver ablations compare cold solvers, so the
+// warm path must not silently substitute Newton for them.
+func (p TwoBody) StateWarm(s *Satellite, t, guess float64) (pos, vel vec3.V, ecc float64) {
+	m := s.Elements.MeanAnomaly + s.meanMotion*t
+	if p.Solver != nil {
+		ecc = p.Solver.Solve(m, s.ecc)
+	} else {
+		ecc = kepler.SolveFrom(m, s.ecc, guess)
+	}
+	f := s.Elements.TrueFromEccentric(ecc)
+	pos, vel = stateFromTrue(s, f, s.basisP, s.basisQ)
+	return pos, vel, ecc
 }
 
 // stateFromTrue evaluates the conic at true anomaly f with basis (bp, bq).

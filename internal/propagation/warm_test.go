@@ -1,0 +1,78 @@
+package propagation
+
+import (
+	"testing"
+
+	"repro/internal/kepler"
+	"repro/internal/orbit"
+)
+
+// StateWarm must be indistinguishable from State at refinement tolerance —
+// the detectors switch between the paths based on sampling mode, and the
+// differential battery assumes both produce the same conjunctions.
+
+func warmTestSatellite() Satellite {
+	return MustSatellite(0, orbit.Elements{
+		SemiMajorAxis: 7100,
+		Eccentricity:  0.02,
+		Inclination:   0.9,
+		RAAN:          1.2,
+		ArgPerigee:    0.4,
+		MeanAnomaly:   2.2,
+	})
+}
+
+func TestStateWarmTracksState(t *testing.T) {
+	s := warmTestSatellite()
+	p := TwoBody{}
+	// Walk a sequential sampling schedule exactly as the detector does: each
+	// step's solved E, advanced by ΔM, seeds the next step's guess.
+	const sps = 1.0
+	dm := s.MeanMotion() * sps
+	guessE := s.Elements.MeanAnomaly - dm // first guess: E+ΔM = M itself
+	for step := 0; step < 600; step++ {
+		tSec := float64(step) * sps
+		wantPos, wantVel := p.State(&s, tSec)
+		pos, vel, ecc := p.StateWarm(&s, tSec, guessE+dm)
+		guessE = ecc
+		if d := pos.Sub(wantPos).Norm(); d > 1e-6 { // 1 mm in km units
+			t.Fatalf("step %d: warm position off by %v km", step, d)
+		}
+		if d := vel.Sub(wantVel).Norm(); d > 1e-9 {
+			t.Fatalf("step %d: warm velocity off by %v km/s", step, d)
+		}
+	}
+}
+
+func TestStateWarmColdGuess(t *testing.T) {
+	// A nonsense guess must not degrade accuracy (SolveFrom falls back).
+	s := warmTestSatellite()
+	p := TwoBody{}
+	wantPos, _ := p.State(&s, 1234.5)
+	pos, _, _ := p.StateWarm(&s, 1234.5, 1e12)
+	if d := pos.Sub(wantPos).Norm(); d > 1e-6 {
+		t.Fatalf("cold-guess warm position off by %v km", d)
+	}
+}
+
+func TestStateWarmExplicitSolverWins(t *testing.T) {
+	// With an explicitly configured solver the warm path must use it — the
+	// solver ablations compare cold solvers, and warm-starting would quietly
+	// replace them with Newton.
+	s := warmTestSatellite()
+	coarse := kepler.Newton{Tol: 1e-2, MaxIter: 1} // deliberately bad solver
+	exact := TwoBody{}
+	loose := TwoBody{Solver: coarse}
+
+	exactPos, _ := exact.State(&s, 300)
+	loosePos, _, looseE := loose.StateWarm(&s, 300, 0)
+	looseStatePos, _ := loose.State(&s, 300)
+
+	if d := loosePos.Sub(looseStatePos).Norm(); d > 1e-12 {
+		t.Fatalf("StateWarm with explicit solver differs from State: %v km", d)
+	}
+	if d := loosePos.Sub(exactPos).Norm(); d < 1e-9 {
+		t.Fatalf("coarse solver produced an exact position (%v km off) — warm path bypassed it", d)
+	}
+	_ = looseE
+}

@@ -174,6 +174,74 @@ func (g *Grid) HalfNeighborKeys(c Coord, dst []uint64) []uint64 {
 	return dst
 }
 
+// Interior reports whether every neighbour of c lies inside the grid
+// bounds, i.e. the constant-offset neighbour enumeration
+// (NeighborKeysInterior / HalfNeighborKeysInterior) applies. Only cells on
+// the outermost shell of the cube fail this, so scans take the fast path for
+// essentially the whole population.
+func (g *Grid) Interior(c Coord) bool {
+	m := g.maxIdx - 1
+	return c.X >= -m && c.X <= m &&
+		c.Y >= -m && c.Y <= m &&
+		c.Z >= -m && c.Z <= m
+}
+
+// neighborKeyDeltas holds the signed packed-key offsets of the 26
+// neighbours: for an interior cell each biased axis field can absorb ±1
+// without borrowing into the adjacent field, so a neighbour's packed key is
+// the centre key plus a constant. The enumeration order matches
+// NeighborKeys on an interior cell.
+var neighborKeyDeltas = func() (d [26]int64) {
+	i := 0
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for dz := int64(-1); dz <= 1; dz++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				d[i] = dx*(1<<(2*coordBits)) + dy*(1<<coordBits) + dz
+				i++
+			}
+		}
+	}
+	return d
+}()
+
+// halfNeighborKeyDeltas is neighborKeyDeltas restricted to the 13 "upper
+// half" offsets, in HalfNeighborKeys order.
+var halfNeighborKeyDeltas = func() (d [13]int64) {
+	offsets := [13][3]int64{
+		{1, -1, -1}, {1, -1, 0}, {1, -1, 1},
+		{1, 0, -1}, {1, 0, 0}, {1, 0, 1},
+		{1, 1, -1}, {1, 1, 0}, {1, 1, 1},
+		{0, 1, -1}, {0, 1, 0}, {0, 1, 1},
+		{0, 0, 1},
+	}
+	for i, o := range offsets {
+		d[i] = o[0]*(1<<(2*coordBits)) + o[1]*(1<<coordBits) + o[2]
+	}
+	return d
+}()
+
+// NeighborKeysInterior appends the 26 neighbour keys of an interior cell to
+// dst by pure key arithmetic — no unpack/repack per neighbour. The caller
+// must have verified Interior(UnpackKey(key)).
+func NeighborKeysInterior(key uint64, dst []uint64) []uint64 {
+	for _, d := range neighborKeyDeltas {
+		dst = append(dst, uint64(int64(key)+d))
+	}
+	return dst
+}
+
+// HalfNeighborKeysInterior is NeighborKeysInterior for the 13 "upper half"
+// neighbours of HalfNeighborKeys.
+func HalfNeighborKeysInterior(key uint64, dst []uint64) []uint64 {
+	for _, d := range halfNeighborKeyDeltas {
+		dst = append(dst, uint64(int64(key)+d))
+	}
+	return dst
+}
+
 // CellCenter returns the centre point of cell c in km.
 func (g *Grid) CellCenter(c Coord) vec3.V {
 	return vec3.V{

@@ -1,0 +1,117 @@
+package spatial
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// The interior fast path replaces per-neighbour unpack/clamp/repack with a
+// constant key offset; these tests pin its equivalence to the general
+// enumeration and the Interior predicate that guards it.
+
+func interiorTestGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(10, 200) // maxIdx = 20: small enough to cover exhaustively
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInteriorPredicate(t *testing.T) {
+	g := interiorTestGrid(t)
+	m := g.MaxAbsCoord()
+	cases := []struct {
+		c    Coord
+		want bool
+	}{
+		{Coord{0, 0, 0}, true},
+		{Coord{m - 1, m - 1, m - 1}, true},
+		{Coord{-(m - 1), -(m - 1), -(m - 1)}, true},
+		{Coord{m, 0, 0}, false},  // a +x neighbour would leave the cube
+		{Coord{0, -m, 0}, false}, // a -y neighbour would leave the cube
+		{Coord{0, 0, m}, false},
+		{Coord{m, m, m}, false},
+	}
+	for _, tc := range cases {
+		if got := g.Interior(tc.c); got != tc.want {
+			t.Errorf("Interior(%+v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+// keySet folds a key slice into a set, failing on duplicates (each neighbour
+// must appear exactly once).
+func keySet(t *testing.T, keys []uint64) map[uint64]bool {
+	t.Helper()
+	set := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if set[k] {
+			t.Fatalf("duplicate neighbour key %#x", k)
+		}
+		set[k] = true
+	}
+	return set
+}
+
+func TestNeighborKeysInteriorMatchesGeneral(t *testing.T) {
+	g := interiorTestGrid(t)
+	rng := mathx.NewSplitMix64(3)
+	m := g.MaxAbsCoord() - 1
+	span := int(2*m + 1)
+	for trial := 0; trial < 200; trial++ {
+		c := Coord{
+			X: int32(rng.Intn(span)) - m,
+			Y: int32(rng.Intn(span)) - m,
+			Z: int32(rng.Intn(span)) - m,
+		}
+		if !g.Interior(c) {
+			t.Fatalf("test coordinate %+v not interior", c)
+		}
+		key := PackKey(c)
+
+		var buf [26]uint64
+		want := g.NeighborKeys(c, buf[:0])
+		got := NeighborKeysInterior(key, nil)
+		if len(got) != 26 || len(want) != 26 {
+			t.Fatalf("%+v: interior %d keys, general %d keys, want 26", c, len(got), len(want))
+		}
+		wantSet := keySet(t, want)
+		for _, k := range got {
+			if !wantSet[k] {
+				t.Fatalf("%+v: interior key %#x (coord %+v) not produced by NeighborKeys", c, k, UnpackKey(k))
+			}
+		}
+
+		wantHalf := g.HalfNeighborKeys(c, buf[:0])
+		gotHalf := HalfNeighborKeysInterior(key, nil)
+		if len(gotHalf) != 13 || len(wantHalf) != 13 {
+			t.Fatalf("%+v: interior half %d keys, general %d, want 13", c, len(gotHalf), len(wantHalf))
+		}
+		for i := range wantHalf {
+			// Half enumeration order is part of the contract (same offset
+			// table), so compare position by position.
+			if gotHalf[i] != wantHalf[i] {
+				t.Fatalf("%+v half neighbour %d: interior %#x vs general %#x", c, i, gotHalf[i], wantHalf[i])
+			}
+		}
+	}
+}
+
+func TestNeighborKeysInteriorRoundTrip(t *testing.T) {
+	// Every fast-path key must unpack to a coordinate adjacent to the centre
+	// — i.e. the key arithmetic never borrows across packed fields.
+	g := interiorTestGrid(t)
+	m := g.MaxAbsCoord() - 1
+	for _, c := range []Coord{{0, 0, 0}, {m, m, m}, {-m, -m, -m}, {m, -m, 0}} {
+		key := PackKey(c)
+		for _, nk := range NeighborKeysInterior(key, nil) {
+			n := UnpackKey(nk)
+			dx, dy, dz := n.X-c.X, n.Y-c.Y, n.Z-c.Z
+			if dx < -1 || dx > 1 || dy < -1 || dy > 1 || dz < -1 || dz > 1 || (dx == 0 && dy == 0 && dz == 0) {
+				t.Fatalf("centre %+v: neighbour key %#x unpacked to non-adjacent %+v", c, nk, n)
+			}
+		}
+	}
+}

@@ -90,6 +90,7 @@ type (
 const (
 	PhaseAllocate = core.PhaseAllocate
 	PhaseSample   = core.PhaseSample
+	PhaseFreeze   = core.PhaseFreeze
 	PhaseFilter   = core.PhaseFilter
 	PhaseRefine   = core.PhaseRefine
 )
@@ -226,6 +227,7 @@ func ScreenContext(ctx context.Context, sats []Satellite, o Options) (*Result, e
 		if err != nil {
 			return nil, err
 		}
+		emitZeroFreeze(o.Observer)
 		return convertLegacy(res), nil
 	case VariantSieve:
 		if o.Device != nil {
@@ -240,6 +242,7 @@ func ScreenContext(ctx context.Context, sats []Satellite, o Options) (*Result, e
 		if err != nil {
 			return nil, err
 		}
+		emitZeroFreeze(o.Observer)
 		return &Result{
 			Variant:      VariantSieve,
 			Backend:      "cpu-sequential",
@@ -277,6 +280,15 @@ func (o Options) coreConfig(prop propagation.Propagator) core.Config {
 		cfg.Executor = o.Device
 	}
 	return cfg
+}
+
+// emitZeroFreeze reports a zero-elapsed freeze phase for the baselines that
+// have no grid to compact (legacy, sieve), keeping the Observer's phase set —
+// and with it the /v1/screen/stream event schema — identical across variants.
+func emitZeroFreeze(obs Observer) {
+	if obs != nil {
+		obs.OnPhase(core.PhaseInfo{Phase: core.PhaseFreeze})
+	}
 }
 
 // convertLegacy reshapes the legacy screener's result into the common form.

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Perf smoke gate: BenchmarkSteadyStateScreen must not run more than
+# PERF_SMOKE_FACTOR times slower than the checked-in ns/op reference
+# (scripts/perf_smoke_ref.txt, captured on the recorded environment).
+#
+# The 2x default absorbs machine-to-machine variance between the recording
+# host and CI runners while still catching step-change regressions — an
+# accidental re-introduction of per-step allocation, a scan that fell off
+# its zero-atomics path, a pool that stopped reusing. Refresh the
+# reference deliberately (and note why in the commit) with:
+#
+#   scripts/perf_smoke.sh -update
+set -eu
+cd "$(dirname "$0")/.."
+
+ref_file=scripts/perf_smoke_ref.txt
+factor="${PERF_SMOKE_FACTOR:-2}"
+bench_out=$(go test -run '^$' -bench '^BenchmarkSteadyStateScreen$' \
+	-benchtime "${PERF_SMOKE_BENCHTIME:-10x}" ./internal/core)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkSteadyStateScreen/ { printf "%.0f", $3 }')
+if [ -z "$ns" ]; then
+	echo "perf_smoke: benchmark produced no ns/op figure" >&2
+	exit 2
+fi
+
+if [ "${1:-}" = "-update" ]; then
+	{
+		echo "# BenchmarkSteadyStateScreen ns/op reference for scripts/perf_smoke.sh."
+		echo "# Captured $(go env GOOS)/$(go env GOARCH); refresh with scripts/perf_smoke.sh -update."
+		echo "$ns"
+	} >"$ref_file"
+	echo "perf_smoke: reference updated to $ns ns/op"
+	exit 0
+fi
+
+ref=$(grep -v '^#' "$ref_file" | head -1)
+limit=$((ref * factor))
+echo "perf_smoke: measured $ns ns/op, reference $ref ns/op, limit ${factor}x = $limit"
+if [ "$ns" -gt "$limit" ]; then
+	echo "perf_smoke: FAIL — steady-state screening regressed past ${factor}x the reference" >&2
+	exit 1
+fi
+echo "perf_smoke: OK"
