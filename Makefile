@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race fuzz bench bench-alloc perf-smoke
+.PHONY: all build test lint race fuzz bench bench-alloc store-bench perf-smoke
 
 all: build lint test
 
@@ -25,11 +25,13 @@ race:
 	$(GO) test -race ./internal/lockfree/... ./internal/core/...
 
 ## fuzz: short fuzz sessions — MurmurHash3 invariants (determinism,
-## streaming/one-shot agreement, finaliser avalanche) and TLE parsing
-## (no-panic on arbitrary input, guarded Format/Parse round trip).
+## streaming/one-shot agreement, finaliser avalanche), TLE parsing and
+## CCSDS CDM/KVN parsing (no-panic on arbitrary input, guarded
+## write/parse round trips).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzMurmur3 -fuzztime=20s ./internal/hash
 	$(GO) test -run=^$$ -fuzz=FuzzTLEParse -fuzztime=20s ./internal/tle
+	$(GO) test -run=^$$ -fuzz=FuzzParseKVN -fuzztime=20s ./internal/ccsds
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -40,6 +42,11 @@ bench:
 bench-alloc:
 	$(GO) test -run='^$$' -bench=BenchmarkSteadyStateScreen -benchtime=5x ./internal/core
 	$(GO) test -run=TestSteadyStateAllocationBudget -v ./internal/core
+
+## store-bench: append/recover/query benchmarks for the persistent
+## conjunction store (fsync-per-append dominates Append).
+store-bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/store
 
 ## perf-smoke: steady-state screening ns/op against the checked-in
 ## reference (scripts/perf_smoke_ref.txt); fails past 2x. Refresh the

@@ -3,18 +3,32 @@
 // Usage:
 //
 //	conjserver -addr :8080 -max-objects 100000
+//	conjserver -addr :8080 -store-dir /var/lib/conjserver -rescreen-interval 60s
 //
 // Endpoints:
 //
-//	GET  /v1/health   liveness
-//	GET  /v1/version  build/paper info
-//	GET  /v1/pool     buffer-pool counters (reuse/leak observability)
-//	POST /v1/screen   screen a population (JSON; see internal/httpapi)
+//	GET  /v1/health         liveness
+//	GET  /v1/version        build/paper info
+//	GET  /v1/pool           buffer-pool counters (reuse/leak observability)
+//	GET  /v1/runs           in-flight/recent runs (+ persisted history)
+//	POST /v1/screen         screen a population (JSON; see internal/httpapi)
+//	GET  /v1/catalog        versioned catalogue state
+//	POST /v1/catalog/delta  apply adds/updates/removes to the catalogue
+//	GET  /v1/conjunctions   query the persisted conjunction store
 //
 // Screening requests draw their grid/pair/state structures from the shared
 // process pool (internal/pool), so back-to-back and concurrent requests
 // reuse warm buffers instead of re-allocating per run; /v1/pool exposes the
 // hit and balance counters.
+//
+// Continuous operation: the server always holds a versioned catalogue that
+// operators evolve via POST /v1/catalog/delta. With -rescreen-interval set,
+// a background loop re-screens whenever the catalogue has moved — using the
+// incremental delta path (work proportional to the changed objects) when
+// the dirty journal covers the window, a full screen otherwise. With
+// -store-dir set, every completed run is persisted to an append-only
+// crash-safe log, so /v1/conjunctions and the /v1/runs history survive
+// restarts.
 //
 // Example:
 //
@@ -38,7 +52,10 @@ import (
 	"syscall"
 	"time"
 
+	satconj "repro"
+	"repro/internal/catalog"
 	"repro/internal/httpapi"
+	"repro/internal/store"
 )
 
 func main() {
@@ -46,9 +63,42 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		maxObjects = flag.Int("max-objects", 100000, "largest accepted population")
 		maxBody    = flag.Int64("max-body-bytes", 0, "request body byte limit (0 = 64 MiB default)")
+		recentRuns = flag.Int("recent-runs", 0, "finished runs kept visible in /v1/runs (0 = 32 default)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline before in-flight screens are cancelled")
+
+		storeDir          = flag.String("store-dir", "", "directory for the persistent run/conjunction store (empty = no persistence)")
+		rescreenInterval  = flag.Duration("rescreen-interval", 0, "background catalogue re-screen cadence (0 = disabled)")
+		rescreenVariant   = flag.String("rescreen-variant", "grid", "detector for background re-screens: grid | hybrid")
+		rescreenDuration  = flag.Float64("rescreen-duration", 3600, "screened window for background re-screens (seconds)")
+		rescreenThreshold = flag.Float64("rescreen-threshold", 0, "screening threshold for background re-screens (km, 0 = 2 km default)")
 	)
 	flag.Parse()
+
+	cfg := httpapi.Config{MaxObjects: *maxObjects, MaxBody: *maxBody, RecentRuns: *recentRuns}
+
+	// The catalogue is always attached (it starts empty at version 1);
+	// continuous mode is just a matter of feeding it deltas.
+	cat, err := catalog.New(nil, time.Now().UTC(), catalog.Options{})
+	if err != nil {
+		log.Fatalf("conjserver: catalogue: %v", err)
+	}
+	cfg.Catalog = cat
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("conjserver: store: %v", err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("conjserver: store close: %v", err)
+			}
+		}()
+		cfg.Store = st
+		log.Printf("conjserver: store at %s with %d persisted runs", st.Path(), st.Len())
+	}
+
+	handler := httpapi.NewServer(cfg)
 
 	// Two-stage shutdown: SIGINT/SIGTERM stops accepting connections and
 	// lets in-flight screens drain; past the drain deadline baseCancel
@@ -60,9 +110,29 @@ func main() {
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
 
+	// The background rescreener gets its own context, cancelled at the
+	// start of shutdown so the drain window is spent on client requests —
+	// the interrupted pass simply reruns after the next start.
+	var rescreenDone chan struct{}
+	rsCtx, rsCancel := context.WithCancel(context.Background())
+	defer rsCancel()
+	if *rescreenInterval > 0 {
+		rs := httpapi.NewRescreener(handler, satconj.Options{
+			Variant:         satconj.Variant(*rescreenVariant),
+			ThresholdKm:     *rescreenThreshold,
+			DurationSeconds: *rescreenDuration,
+		}, *rescreenInterval, log.Printf)
+		rescreenDone = make(chan struct{})
+		go func() {
+			defer close(rescreenDone)
+			_ = rs.Run(rsCtx) // returns its context's cancellation at shutdown
+		}()
+		log.Printf("conjserver: rescreening every %v (%s, %gs window)", *rescreenInterval, *rescreenVariant, *rescreenDuration)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewWithLimits(*maxObjects, *maxBody),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
@@ -79,9 +149,14 @@ func main() {
 	stop() // restore default signal behaviour: a second signal kills immediately
 	log.Printf("conjserver: shutting down, draining for up to %v", *drain)
 
+	rsCancel()
+	if rescreenDone != nil {
+		<-rescreenDone
+	}
+
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err := srv.Shutdown(shutdownCtx)
+	err = srv.Shutdown(shutdownCtx)
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Drain expired: cancel the in-flight screens' contexts and give
 		// them a moment to unwind cleanly.
@@ -95,4 +170,6 @@ func main() {
 		log.Fatalf("conjserver: shutdown: %v", err)
 	}
 	log.Printf("conjserver: stopped")
+	// The deferred store.Close then seals the log (runs persisted by the
+	// rescreener and in-flight requests are already fsynced per append).
 }

@@ -1,0 +1,121 @@
+package ccsds
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// kvnSeed renders one canonical message for the seed corpus.
+func kvnSeed() string {
+	var sb strings.Builder
+	m := Message{
+		CreationDate:    time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Originator:      "SATCONJ",
+		MessageID:       "SATCONJ-1-2-700000",
+		TCA:             time.Date(2026, 8, 5, 12, 11, 40, 500e6, time.UTC),
+		MissDistanceM:   123.456789,
+		RelativeSpeedMS: 7543.2,
+		RelPosRTN:       [3]float64{-12.5, 100.25, 3.75},
+		Object1:         ObjectInfo{Designator: "00001", Name: "OBJECT 1"},
+		Object2:         ObjectInfo{Designator: "00002", Name: "OBJECT 2"},
+	}
+	if err := m.WriteKVN(&sb); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+// cleanKVNString reports whether s survives the KVN value position
+// unchanged: values are written verbatim after "= " on one line, and the
+// parser trims whitespace and strips everything from the first "[" (unit
+// annotations). Anything else only gets the no-panic guarantee.
+func cleanKVNString(s string) bool {
+	return s == strings.TrimSpace(s) &&
+		!strings.ContainsAny(s, "\n\r[") &&
+		!strings.HasPrefix(s, "COMMENT")
+}
+
+// representableTime reports whether t survives the fixed timeLayout
+// (4-digit year, millisecond resolution handled by the caller).
+func representableTime(t time.Time) bool {
+	y := t.UTC().Year()
+	return y >= 1 && y <= 9999
+}
+
+// FuzzParseKVN throws arbitrary text at ParseKVN. The core property is
+// that it never panics — it either returns a Message or an error. When it
+// accepts the input, the parsed message is written back out with WriteKVN
+// and re-parsed; messages whose fields the fixed KVN layout can represent
+// (finite floats, 4-digit years, single-line trim-stable strings without
+// unit brackets) must survive that round trip.
+func FuzzParseKVN(f *testing.F) {
+	f.Add(kvnSeed())
+	// Structured near-misses steer the mutator at the interesting edges.
+	f.Add("")
+	f.Add("CCSDS_CDM_VERS = 2.0\n")
+	f.Add("MISS_DISTANCE = not-a-number [m]\n")
+	f.Add("TCA = 2026-13-99T99:99:99.999\n")
+	f.Add("OBJECT = OBJECT3\n")
+	f.Add("COMMENT free text, no equals sign\n")
+	f.Add("key-without-equals\n")
+	f.Add("MISS_DISTANCE = 1e999 [m]\n")
+	f.Add(strings.Replace(kvnSeed(), "OBJECT1", "OBJECT2", 1))
+	f.Add(kvnSeed() + kvnSeed()) // doubled message: later keys overwrite
+
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := ParseKVN(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+
+		// Round-trip property, guarded to representable field values.
+		floats := []float64{m.MissDistanceM, m.RelativeSpeedMS, m.RelPosRTN[0], m.RelPosRTN[1], m.RelPosRTN[2]}
+		for _, v := range floats {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		if !representableTime(m.CreationDate) || !representableTime(m.TCA) {
+			return
+		}
+		for _, s := range []string{m.Originator, m.MessageID, m.Object1.Designator, m.Object1.Name, m.Object2.Designator, m.Object2.Name} {
+			if !cleanKVNString(s) {
+				return
+			}
+		}
+
+		var sb strings.Builder
+		if err := m.WriteKVN(&sb); err != nil {
+			t.Fatalf("WriteKVN of accepted message failed: %v", err)
+		}
+		back, err := ParseKVN(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse of written KVN failed: %v\n%s", err, sb.String())
+		}
+
+		// %.6f carries ~1e-6 absolute precision near zero and full float64
+		// relative precision at large magnitudes.
+		backFloats := []float64{back.MissDistanceM, back.RelativeSpeedMS, back.RelPosRTN[0], back.RelPosRTN[1], back.RelPosRTN[2]}
+		for i, v := range floats {
+			if tol := 1e-5 + 1e-9*math.Abs(v); math.Abs(backFloats[i]-v) > tol {
+				t.Fatalf("float field %d drifted: %v → %v", i, v, backFloats[i])
+			}
+		}
+		// The layout truncates to milliseconds.
+		if !back.TCA.Equal(m.TCA.UTC().Truncate(time.Millisecond)) {
+			t.Fatalf("TCA drifted: %v → %v", m.TCA, back.TCA)
+		}
+		if !back.CreationDate.Equal(m.CreationDate.UTC().Truncate(time.Millisecond)) {
+			t.Fatalf("CREATION_DATE drifted: %v → %v", m.CreationDate, back.CreationDate)
+		}
+		if back.Originator != m.Originator || back.MessageID != m.MessageID {
+			t.Fatalf("header strings drifted: %+v → %+v", m, back)
+		}
+		if back.Object1.Designator != m.Object1.Designator || back.Object2.Designator != m.Object2.Designator ||
+			back.Object1.Name != m.Object1.Name || back.Object2.Name != m.Object2.Name {
+			t.Fatalf("object strings drifted: %+v → %+v", m, back)
+		}
+	})
+}

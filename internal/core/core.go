@@ -203,6 +203,8 @@ type PhaseStats struct {
 
 	Steps          int    // sampling steps processed
 	CandidatePairs int    // distinct (pair, step) candidates from the grid
+	DirtyObjects   int    // delta screens: size of the dirty set (0 on full screens)
+	PriorRetained  int    // delta screens: prior conjunctions carried over unrefined
 	FilterRejected int    // candidates dropped by the orbital filters (hybrid)
 	Refinements    int    // Brent searches performed
 	OutOfBounds    uint64 // satellite samples outside the simulation cube

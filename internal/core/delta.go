@@ -1,0 +1,196 @@
+package core
+
+// Incremental (delta) screening: re-screening a catalogue version that
+// differs from an already-screened one by a small dirty set of k changed
+// objects. The full population is propagated and inserted into the grid
+// exactly as in a full screen — a dirty object can approach anything — but
+// the candidate scan emits a pair only when at least one member is dirty,
+// so candidate generation and refinement cost O(N·k) pair work instead of
+// O(N²). The refined conjunctions are then merged with the prior result:
+// prior entries whose pair touches a dirty or removed object are stale and
+// dropped (their replacements, if any, are in the fresh set), everything
+// else is retained verbatim. The delta-vs-full differential test
+// (delta_test.go) pins this merge against a fresh full screen over random
+// delta sequences.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/lockfree"
+	"repro/internal/propagation"
+	"repro/internal/spatial"
+)
+
+// DeltaInput parameterises an incremental screen. Prior must be the
+// conjunction set of a screen of the previous catalogue version with the
+// same variant and configuration (threshold, sampling, duration, epoch);
+// Dirty the IDs added or updated since that screen; Removed the IDs removed
+// since. The catalogue layer (internal/catalog, DirtyBetween) produces
+// exactly these sets.
+type DeltaInput struct {
+	Prior   []Conjunction
+	Dirty   []int32
+	Removed []int32
+}
+
+// ScreenDelta runs the grid pipeline incrementally; see DeltaInput for the
+// contract. The result is equivalent to a full Screen of the same
+// population (the differential test asserts it), at the candidate cost of
+// the dirty set only.
+func (d *Grid) ScreenDelta(ctx context.Context, sats []propagation.Satellite, delta DeltaInput) (*Result, error) {
+	return d.screen(ctx, sats, &delta)
+}
+
+// ScreenDelta runs the hybrid pipeline incrementally; Prior must come from
+// a hybrid screen. See Grid.ScreenDelta.
+func (d *Hybrid) ScreenDelta(ctx context.Context, sats []propagation.Satellite, delta DeltaInput) (*Result, error) {
+	return d.screen(ctx, sats, &delta)
+}
+
+// bitset helpers over ID-indexed []uint64 words. IDs are validated
+// non-negative before any set; has tolerates IDs beyond the sized range
+// (clean objects above every dirty ID) by reporting false.
+func bitsetWords(maxID int32) int { return (int(maxID) >> 6) + 1 }
+
+func bitsetSet(b []uint64, id int32) { b[int(id)>>6] |= 1 << (uint(id) & 63) }
+
+func bitsetHas(b []uint64, id int32) bool {
+	w := int(id) >> 6
+	if w >= len(b) {
+		return false
+	}
+	return b[w]>>(uint(id)&63)&1 != 0
+}
+
+// setDelta arms the run's dirty-pair filter: the candidate scan consults
+// r.dirty, the final merge consults r.touched (dirty ∪ removed). Both
+// bitsets are pooled and handed back by release with the run's other
+// structures.
+func (r *run) setDelta(delta *DeltaInput) error {
+	maxID := int32(-1)
+	for _, id := range delta.Dirty {
+		if id < 0 || id > lockfree.MaxID {
+			return fmt.Errorf("core: delta dirty ID %d out of range", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for _, id := range delta.Removed {
+		if id < 0 || id > lockfree.MaxID {
+			return fmt.Errorf("core: delta removed ID %d out of range", id)
+		}
+		if _, present := r.idx[id]; present {
+			return fmt.Errorf("core: delta removed ID %d is still in the population", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	words := 0
+	if maxID >= 0 {
+		words = bitsetWords(maxID)
+	}
+	r.dirty = r.pool.GetBitset(words)
+	r.touched = r.pool.GetBitset(words)
+	for _, id := range delta.Dirty {
+		bitsetSet(r.dirty, id)
+		bitsetSet(r.touched, id)
+	}
+	for _, id := range delta.Removed {
+		bitsetSet(r.touched, id)
+	}
+	r.stats.DirtyObjects = len(delta.Dirty)
+	return nil
+}
+
+// mergeWithPrior folds the retained prior conjunctions into the freshly
+// refined ones. Fresh entries all involve at least one dirty object and
+// retained entries none, so the two sets are disjoint by construction — no
+// dedup pass is needed, only the re-sort.
+func (r *run) mergeWithPrior(fresh []Conjunction, prior []Conjunction) []Conjunction {
+	out := make([]Conjunction, 0, len(prior)+len(fresh))
+	for _, c := range prior {
+		if bitsetHas(r.touched, c.A) || bitsetHas(r.touched, c.B) {
+			continue
+		}
+		out = append(out, c)
+	}
+	r.stats.PriorRetained = len(out)
+	out = append(out, fresh...)
+	sortConjunctions(out)
+	return out
+}
+
+// degenerateDeltaMerge handles the <2-satellite population, where no run is
+// built: the result is the prior with every touched pair dropped (with at
+// most one object left, nothing fresh can exist).
+func degenerateDeltaMerge(delta *DeltaInput) []Conjunction {
+	touched := make(map[int32]struct{}, len(delta.Dirty)+len(delta.Removed))
+	for _, id := range delta.Dirty {
+		touched[id] = struct{}{}
+	}
+	for _, id := range delta.Removed {
+		touched[id] = struct{}{}
+	}
+	var out []Conjunction
+	for _, c := range delta.Prior {
+		if _, hit := touched[c.A]; hit {
+			continue
+		}
+		if _, hit := touched[c.B]; hit {
+			continue
+		}
+		out = append(out, c)
+	}
+	sortConjunctions(out)
+	return out
+}
+
+// scanSnapshotDirty is scanSnapshot with the delta filter applied at
+// emission: a pair is appended only when at least one member is dirty. The
+// walk itself is identical — every cell is still visited, because a clean
+// cell can neighbour a dirty object — so the saving is the pair volume
+// (candidate keys, pair-set pressure, refinement), which is the O(N²) term.
+func (r *run) scanSnapshotDirty(sn *lockfree.GridSnapshot, lo, hi int, step uint32, buf []uint64, scratch *scanScratch) []uint64 {
+	half := r.cfg.UseHalfNeighborhood
+	dirty := r.dirty
+	for s := lo; s < hi; s++ {
+		key, cell := sn.SlotCell(s)
+		if key == lockfree.EmptySlot || len(cell) == 0 {
+			continue
+		}
+		for i := 0; i < len(cell); i++ {
+			di := bitsetHas(dirty, cell[i])
+			for j := i + 1; j < len(cell); j++ {
+				if di || bitsetHas(dirty, cell[j]) {
+					buf = append(buf, lockfree.PackPair(cell[i], cell[j], step))
+				}
+			}
+		}
+		var neighbors []uint64
+		if coord := spatial.UnpackKey(key); r.grid.Interior(coord) {
+			if half {
+				neighbors = spatial.HalfNeighborKeysInterior(key, scratch.nbuf[:0])
+			} else {
+				neighbors = spatial.NeighborKeysInterior(key, scratch.nbuf[:0])
+			}
+		} else if half {
+			neighbors = r.grid.HalfNeighborKeys(coord, scratch.nbuf[:0])
+		} else {
+			neighbors = r.grid.NeighborKeys(coord, scratch.nbuf[:0])
+		}
+		for _, nk := range neighbors {
+			for _, nid := range sn.CellByKey(nk) {
+				nd := bitsetHas(dirty, nid)
+				for _, cid := range cell {
+					if nd || bitsetHas(dirty, cid) {
+						buf = append(buf, lockfree.PackPair(cid, nid, step))
+					}
+				}
+			}
+		}
+	}
+	return buf
+}

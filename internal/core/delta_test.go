@@ -1,0 +1,218 @@
+package core
+
+// Delta-vs-full differential battery: an incremental screen chained over a
+// random sequence of catalogue deltas must produce the same conjunction set
+// as a fresh full screen of the final population. The chain feeds each
+// round's incremental output into the next round's prior, so drift — a
+// stale pair retained, a fresh pair missed, a removed object leaking
+// through — compounds and is caught. Runs under -race in CI (the race job
+// covers internal/core).
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/orbit"
+	"repro/internal/pool"
+	"repro/internal/propagation"
+)
+
+// deltaScreener is the surface shared by the grid and hybrid detectors.
+type deltaScreener interface {
+	ScreenContext(ctx context.Context, sats []propagation.Satellite) (*Result, error)
+	ScreenDelta(ctx context.Context, sats []propagation.Satellite, delta DeltaInput) (*Result, error)
+}
+
+// mutateOnce applies one synthetic catalogue delta in place: a couple of
+// removals, a couple of element updates, one fresh shell object, and one
+// engineered sub-threshold companion of a surviving (clean) object — the
+// case where a *new* dirty object must be caught conjuncting with an
+// untouched one. Returns the new population and the dirty/removed ID sets.
+func mutateOnce(rng *mathx.SplitMix64, sats []propagation.Satellite, nextID *int32, span float64) ([]propagation.Satellite, []int32, []int32) {
+	var dirty, removed []int32
+	touched := make(map[int32]bool)
+
+	for k := 0; k < 2 && len(sats) > 6; k++ {
+		i := int(rng.Uint64() % uint64(len(sats)))
+		if touched[sats[i].ID] {
+			continue
+		}
+		touched[sats[i].ID] = true
+		removed = append(removed, sats[i].ID)
+		sats = append(sats[:i], sats[i+1:]...)
+	}
+	for k := 0; k < 2; k++ {
+		i := int(rng.Uint64() % uint64(len(sats)))
+		if touched[sats[i].ID] {
+			continue
+		}
+		touched[sats[i].ID] = true
+		el := sats[i].Elements
+		el.MeanAnomaly = mathx.NormalizeAngle(el.MeanAnomaly + rng.UniformRange(-0.5, 0.5))
+		sats[i] = propagation.MustSatellite(sats[i].ID, el)
+		dirty = append(dirty, sats[i].ID)
+	}
+
+	// One plain shell add.
+	el := orbit.Elements{
+		SemiMajorAxis: rng.UniformRange(6950, 7250),
+		Eccentricity:  rng.UniformRange(0, 0.01),
+		Inclination:   rng.UniformRange(0.1, 3.0),
+		RAAN:          rng.UniformRange(0, mathx.TwoPi),
+		ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+		MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+	}
+	sats = append(sats, propagation.MustSatellite(*nextID, el))
+	dirty = append(dirty, *nextID)
+	*nextID++
+
+	// One engineered companion: same orbit as a surviving clean object but
+	// radially offset below the 2 km threshold, phase-matched so the mean
+	// anomalies coincide mid-window — a guaranteed fresh conjunction whose
+	// other member is clean.
+	target := -1
+	for i := range sats {
+		if !touched[sats[i].ID] && sats[i].Elements.Eccentricity < 0.05 {
+			target = i
+			break
+		}
+	}
+	if target >= 0 {
+		x := sats[target]
+		tMeet := rng.UniformRange(span/4, 3*span/4)
+		cel := x.Elements
+		cel.SemiMajorAxis += 0.8
+		nNew := orbit.Elements{SemiMajorAxis: cel.SemiMajorAxis}.MeanMotion()
+		cel.MeanAnomaly = mathx.NormalizeAngle(cel.MeanAnomaly + (x.MeanMotion()-nNew)*tMeet)
+		sats = append(sats, propagation.MustSatellite(*nextID, cel))
+		dirty = append(dirty, *nextID)
+		*nextID++
+	}
+	return sats, dirty, removed
+}
+
+// assertConjunctionsEqual demands got and want describe the same
+// conjunction list: identical (A, B, Step) sequences with TCA/PCA agreeing
+// to refinement tolerance. The delta path refines exactly the pairs the
+// full path refines (for dirty pairs) or copies prior values computed by
+// the identical code path (for clean pairs), so agreement is tight.
+func assertConjunctionsEqual(t *testing.T, name string, got, want []Conjunction) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d conjunctions, want %d\ngot:  %v\nwant: %v", name, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.A != w.A || g.B != w.B || g.Step != w.Step ||
+			math.Abs(g.TCA-w.TCA) > 1e-9 || math.Abs(g.PCA-w.PCA) > 1e-9 {
+			t.Fatalf("%s: conjunction %d diverged:\ngot:  %+v\nwant: %+v", name, i, g, w)
+		}
+	}
+}
+
+func TestScreenDeltaMatchesFullScreen(t *testing.T) {
+	const span = 1800.0
+	cases := []struct {
+		name string
+		mk   func(p *pool.Pool) deltaScreener
+	}{
+		{"grid", func(p *pool.Pool) deltaScreener {
+			return NewGrid(Config{DurationSeconds: span, HalfExtentKm: 9000, Workers: 4, Pool: p})
+		}},
+		{"grid-batched", func(p *pool.Pool) deltaScreener {
+			return NewGrid(Config{DurationSeconds: span, HalfExtentKm: 9000, Workers: 4, ParallelSteps: 4, Pool: p})
+		}},
+		{"hybrid", func(p *pool.Pool) deltaScreener {
+			return NewHybrid(Config{DurationSeconds: span, HalfExtentKm: 9000, Workers: 4, Pool: p})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := pool.New()
+			det := tc.mk(pl)
+			ctx := context.Background()
+
+			sats := seededEncounterPopulation(11, span)
+			nextID := int32(len(sats))
+			full, err := det.ScreenContext(ctx, sats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prior := full.Conjunctions
+
+			rng := mathx.NewSplitMix64(23)
+			for round := 0; round < 4; round++ {
+				var dirty, removed []int32
+				sats, dirty, removed = mutateOnce(rng, sats, &nextID, span)
+
+				fresh, err := det.ScreenContext(ctx, sats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, err := det.ScreenDelta(ctx, sats, DeltaInput{Prior: prior, Dirty: dirty, Removed: removed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertConjunctionsEqual(t, tc.name, inc.Conjunctions, fresh.Conjunctions)
+				if inc.Stats.DirtyObjects != len(dirty) {
+					t.Fatalf("round %d: DirtyObjects = %d, want %d", round, inc.Stats.DirtyObjects, len(dirty))
+				}
+				if inc.Stats.CandidatePairs > fresh.Stats.CandidatePairs {
+					t.Fatalf("round %d: delta emitted more candidates (%d) than the full screen (%d)",
+						round, inc.Stats.CandidatePairs, fresh.Stats.CandidatePairs)
+				}
+				// Chain: the incremental output becomes the next prior.
+				prior = inc.Conjunctions
+			}
+			if out := pl.Stats().Outstanding(); out != 0 {
+				t.Fatalf("pool leak: %d structures outstanding", out)
+			}
+		})
+	}
+}
+
+func TestScreenDeltaValidation(t *testing.T) {
+	sats := seededEncounterPopulation(3, 600)
+	det := NewGrid(Config{DurationSeconds: 600, Workers: 2})
+	ctx := context.Background()
+
+	// A "removed" ID still present in the population is a caller bug.
+	if _, err := det.ScreenDelta(ctx, sats, DeltaInput{Removed: []int32{sats[0].ID}}); err == nil {
+		t.Fatal("removed-but-present ID accepted")
+	}
+	// Out-of-range IDs are refused.
+	if _, err := det.ScreenDelta(ctx, sats, DeltaInput{Dirty: []int32{-1}}); err == nil {
+		t.Fatal("negative dirty ID accepted")
+	}
+
+	// An empty delta re-screens nothing and returns the prior unchanged.
+	prior := []Conjunction{{A: 1, B: 2, Step: 3, TCA: 4, PCA: 0.5}}
+	res, err := det.ScreenDelta(ctx, sats, DeltaInput{Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConjunctionsEqual(t, "empty delta", res.Conjunctions, prior)
+	if res.Stats.PriorRetained != 1 {
+		t.Fatalf("PriorRetained = %d, want 1", res.Stats.PriorRetained)
+	}
+}
+
+func TestScreenDeltaDegeneratePopulation(t *testing.T) {
+	det := NewGrid(Config{DurationSeconds: 600})
+	prior := []Conjunction{
+		{A: 1, B: 2, TCA: 10, PCA: 0.5},
+		{A: 2, B: 3, TCA: 20, PCA: 0.7},
+	}
+	one := []propagation.Satellite{seededEncounterPopulation(3, 600)[0]}
+	res, err := det.ScreenDelta(context.Background(), one, DeltaInput{Prior: prior, Removed: []int32{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pair touching removed object 3 is dropped; the untouched pair is
+	// retained even though the population cannot re-confirm it.
+	if len(res.Conjunctions) != 1 || res.Conjunctions[0].A != 1 {
+		t.Fatalf("degenerate merge = %v", res.Conjunctions)
+	}
+}

@@ -37,6 +37,13 @@ func (d *Grid) Screen(sats []propagation.Satellite) (*Result, error) {
 // cancelled the pipeline unwinds within about one sampling step, returns
 // ctx.Err(), and hands every pooled structure back before returning.
 func (d *Grid) ScreenContext(ctx context.Context, sats []propagation.Satellite) (*Result, error) {
+	return d.screen(ctx, sats, nil)
+}
+
+// screen runs the grid pipeline; a non-nil delta switches the candidate
+// scan to dirty-pair emission and merges the prior result at the end (see
+// delta.go).
+func (d *Grid) screen(ctx context.Context, sats []propagation.Satellite, delta *DeltaInput) (*Result, error) {
 	cfg := d.cfg
 	sps := cfg.SecondsPerSample
 	if sps <= 0 {
@@ -48,9 +55,17 @@ func (d *Grid) ScreenContext(ctx context.Context, sats []propagation.Satellite) 
 	}
 	res := &Result{Variant: VariantGrid, Backend: "cpu"}
 	if run == nil { // degenerate population (<2 satellites)
+		if delta != nil {
+			res.Conjunctions = degenerateDeltaMerge(delta)
+		}
 		return res, nil
 	}
 	defer run.release()
+	if delta != nil {
+		if err := run.setDelta(delta); err != nil {
+			return nil, err
+		}
+	}
 	res.Backend = run.exec.ExecutorName()
 	if err := run.sampleAllSteps(); err != nil {
 		return nil, err
@@ -65,6 +80,9 @@ func (d *Grid) ScreenContext(ctx context.Context, sats []propagation.Satellite) 
 	conjs, err := run.refineCandidates(pairs, nil)
 	if err != nil {
 		return nil, err
+	}
+	if delta != nil {
+		conjs = run.mergeWithPrior(conjs, delta.Prior)
 	}
 	run.stats.Detection += time.Since(tRef)
 	run.observePhase(PhaseRefine, time.Since(tRef), len(conjs))
@@ -102,6 +120,12 @@ type run struct {
 	stats       PhaseStats
 	refiner     *refiner
 	uncertainty UncertaintyMap
+
+	// Delta (incremental) screening state; nil on full screens, which keeps
+	// the steady-state hot path branch-free at pair granularity (the scan
+	// dispatches once per worker range, not per pair). See delta.go.
+	dirty   []uint64 // pooled bitset: IDs whose pairs the scan emits
+	touched []uint64 // pooled bitset: dirty ∪ removed, for the prior merge
 
 	// Cancellation and observability plumbing. done caches ctx.Done() so
 	// the uncancellable (Background) path pays nothing; sink and observer
@@ -331,8 +355,11 @@ func (r *run) release() {
 		r.pool.PutKeyBuf(r.scanBufs[w])
 	}
 	r.pool.PutKeplerCache(r.kcache)
+	r.pool.PutBitset(r.dirty)
+	r.pool.PutBitset(r.touched)
 	r.gset, r.pairs, r.states, r.pairBuf, r.idx = nil, nil, nil, nil, nil
 	r.snap, r.scanBufs, r.kcache = nil, nil, nil
+	r.dirty, r.touched = nil, nil
 }
 
 // collectPairs drains the pair set into a pooled buffer owned (and later
@@ -445,7 +472,11 @@ func (r *run) insertRange(lo, hi int) {
 // pair set after the scan joins.
 func (r *run) scanWorkerRange(w, lo, hi int) {
 	scratch := scanScratchPool.Get().(*scanScratch)
-	r.scanBufs[w] = r.scanSnapshot(r.snap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
+	if r.dirty != nil {
+		r.scanBufs[w] = r.scanSnapshotDirty(r.snap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
+	} else {
+		r.scanBufs[w] = r.scanSnapshot(r.snap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
+	}
 	scanScratchPool.Put(scratch)
 }
 

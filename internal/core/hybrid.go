@@ -53,6 +53,13 @@ func (d *Hybrid) Screen(sats []propagation.Satellite) (*Result, error) {
 // ScreenContext is Screen with cooperative cancellation; see
 // Grid.ScreenContext for the contract.
 func (d *Hybrid) ScreenContext(ctx context.Context, sats []propagation.Satellite) (*Result, error) {
+	return d.screen(ctx, sats, nil)
+}
+
+// screen runs the hybrid pipeline; a non-nil delta switches the candidate
+// scan to dirty-pair emission and merges the prior result at the end (see
+// delta.go).
+func (d *Hybrid) screen(ctx context.Context, sats []propagation.Satellite, delta *DeltaInput) (*Result, error) {
 	cfg := d.cfg
 	sps := cfg.SecondsPerSample
 	if sps <= 0 {
@@ -64,9 +71,17 @@ func (d *Hybrid) ScreenContext(ctx context.Context, sats []propagation.Satellite
 	}
 	res := &Result{Variant: VariantHybrid, Backend: "cpu"}
 	if run == nil {
+		if delta != nil {
+			res.Conjunctions = degenerateDeltaMerge(delta)
+		}
 		return res, nil
 	}
 	defer run.release()
+	if delta != nil {
+		if err := run.setDelta(delta); err != nil {
+			return nil, err
+		}
+	}
 	res.Backend = run.exec.ExecutorName()
 	if err := run.sampleAllSteps(); err != nil {
 		return nil, err
@@ -123,6 +138,9 @@ func (d *Hybrid) ScreenContext(ctx context.Context, sats []propagation.Satellite
 	conjs, err := run.refineCandidates(kept, interval)
 	if err != nil {
 		return nil, err
+	}
+	if delta != nil {
+		conjs = run.mergeWithPrior(conjs, delta.Prior)
 	}
 	run.stats.Detection += time.Since(tRef)
 	run.observePhase(PhaseRefine, time.Since(tRef), len(conjs))

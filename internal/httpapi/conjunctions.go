@@ -1,0 +1,123 @@
+package httpapi
+
+// Store-backed query endpoints: GET /v1/conjunctions serves the persisted
+// conjunction history (internal/store), so answers survive restarts and do
+// not require re-screening. /v1/runs additionally lists the persisted run
+// headers next to the in-memory registry.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/store"
+)
+
+// StoredRunJSON is one persisted run header as served in /v1/runs history.
+type StoredRunJSON struct {
+	ID             uint64    `json:"id"`
+	CatalogVersion uint64    `json:"catalog_version,omitempty"`
+	StartedAt      time.Time `json:"started_at"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	ThresholdKm    float64   `json:"threshold_km"`
+	Duration       float64   `json:"duration_seconds"`
+	Objects        int       `json:"objects"`
+	Incremental    bool      `json:"incremental"`
+	Variant        string    `json:"variant"`
+}
+
+func storedRunJSON(r store.Run) StoredRunJSON {
+	return StoredRunJSON{
+		ID:             r.ID,
+		CatalogVersion: r.CatalogVersion,
+		StartedAt:      r.StartedAt,
+		ElapsedSeconds: r.Elapsed,
+		ThresholdKm:    r.ThresholdKm,
+		Duration:       r.Duration,
+		Objects:        r.Objects,
+		Incremental:    r.Incremental,
+		Variant:        r.Variant,
+	}
+}
+
+// StoredConjunctionJSON is one match from GET /v1/conjunctions.
+type StoredConjunctionJSON struct {
+	RunID uint64  `json:"run_id"`
+	A     int32   `json:"a"`
+	B     int32   `json:"b"`
+	TCA   float64 `json:"tca_seconds"`
+	PCA   float64 `json:"pca_km"`
+}
+
+// ConjunctionsResponse is the GET /v1/conjunctions reply.
+type ConjunctionsResponse struct {
+	Matches []StoredConjunctionJSON `json:"matches"`
+}
+
+// defaultQueryLimit bounds an unparameterised /v1/conjunctions sweep.
+const defaultQueryLimit = 1000
+
+// queryConjunctions serves GET /v1/conjunctions. Query parameters: run,
+// object, tca_min, tca_max, max_pca_km, limit — all optional, combined
+// with AND.
+func (h *Handler) queryConjunctions(w http.ResponseWriter, r *http.Request) {
+	if h.store == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "no store attached (start the server with -store-dir to persist runs)"})
+		return
+	}
+	var q store.Query
+	q.Limit = defaultQueryLimit
+	vals := r.URL.Query()
+	var err error
+	if s := vals.Get("run"); s != "" {
+		if q.Run, err = strconv.ParseUint(s, 10, 64); err != nil {
+			badQueryParam(w, "run", s)
+			return
+		}
+	}
+	if s := vals.Get("object"); s != "" {
+		id, perr := strconv.ParseInt(s, 10, 32)
+		if perr != nil {
+			badQueryParam(w, "object", s)
+			return
+		}
+		q.Object, q.HasObject = int32(id), true
+	}
+	if s := vals.Get("tca_min"); s != "" {
+		if q.TCAMin, err = strconv.ParseFloat(s, 64); err != nil {
+			badQueryParam(w, "tca_min", s)
+			return
+		}
+	}
+	if s := vals.Get("tca_max"); s != "" {
+		if q.TCAMax, err = strconv.ParseFloat(s, 64); err != nil {
+			badQueryParam(w, "tca_max", s)
+			return
+		}
+	}
+	if s := vals.Get("max_pca_km"); s != "" {
+		if q.MaxPCAKm, err = strconv.ParseFloat(s, 64); err != nil {
+			badQueryParam(w, "max_pca_km", s)
+			return
+		}
+	}
+	if s := vals.Get("limit"); s != "" {
+		n, perr := strconv.Atoi(s)
+		if perr != nil || n <= 0 {
+			badQueryParam(w, "limit", s)
+			return
+		}
+		q.Limit = n
+	}
+	matches := h.store.Query(q)
+	out := ConjunctionsResponse{Matches: make([]StoredConjunctionJSON, len(matches))}
+	for i, m := range matches {
+		out.Matches[i] = StoredConjunctionJSON{RunID: m.RunID, A: m.A, B: m.B, TCA: m.TCA, PCA: m.PCA}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func badQueryParam(w http.ResponseWriter, name, val string) {
+	writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad query parameter %s=%q", name, val)})
+}

@@ -15,8 +15,10 @@ import (
 	"time"
 
 	satconj "repro"
+	"repro/internal/catalog"
 	"repro/internal/orbit"
 	"repro/internal/pool"
+	"repro/internal/store"
 )
 
 // Version is reported by GET /v1/version.
@@ -94,6 +96,9 @@ type ScreenResponse struct {
 	CandidatePairs int               `json:"candidate_pairs"`
 	Refinements    int               `json:"refinements"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	// StoredRunID is set when the server persists runs: the ID to query
+	// this run's conjunctions back via GET /v1/conjunctions?run=….
+	StoredRunID uint64 `json:"stored_run_id,omitempty"`
 }
 
 // errorJSON is every error reply's shape.
@@ -110,29 +115,68 @@ type Handler struct {
 	maxBody int64
 	// runs tracks in-flight and recently finished screening runs.
 	runs *runRegistry
+	// catalog, when non-nil, backs the /v1/catalog endpoints and the
+	// background rescreener (continuous-operation mode).
+	catalog *catalog.Catalog
+	// store, when non-nil, persists every completed screening run and backs
+	// GET /v1/conjunctions; run history then survives restarts.
+	store *store.Store
 }
 
-// New returns a ready-to-serve handler. maxObjects ≤ 0 selects 100,000.
+// Config assembles a Handler for continuous operation. The zero value is a
+// valid stateless configuration (no catalogue, no persistence).
+type Config struct {
+	// MaxObjects bounds accepted population sizes (≤ 0 selects 100,000).
+	MaxObjects int
+	// MaxBody bounds request body bytes (≤ 0 selects the 64 MiB default);
+	// bodies beyond it get 413.
+	MaxBody int64
+	// RecentRuns caps how many finished runs GET /v1/runs keeps visible
+	// in memory (≤ 0 selects 32).
+	RecentRuns int
+	// Catalog enables the /v1/catalog endpoints.
+	Catalog *catalog.Catalog
+	// Store enables persistence and GET /v1/conjunctions.
+	Store *store.Store
+}
+
+// New returns a ready-to-serve stateless handler. maxObjects ≤ 0 selects
+// 100,000.
 func New(maxObjects int) *Handler {
-	return NewWithLimits(maxObjects, defaultMaxBody)
+	return NewServer(Config{MaxObjects: maxObjects})
 }
 
-// NewWithLimits additionally sets the request-body byte limit (≤ 0 selects
-// the 64 MiB default); bodies beyond it get 413.
-func NewWithLimits(maxObjects int, maxBody int64) *Handler {
-	if maxObjects <= 0 {
-		maxObjects = 100000
+// NewWithLimits additionally sets the request-body byte limit and the
+// /v1/runs retention cap (≤ 0 selects the defaults: 64 MiB, 32 runs).
+func NewWithLimits(maxObjects int, maxBody int64, recentRuns int) *Handler {
+	return NewServer(Config{MaxObjects: maxObjects, MaxBody: maxBody, RecentRuns: recentRuns})
+}
+
+// NewServer returns a handler wired for continuous operation per cfg.
+func NewServer(cfg Config) *Handler {
+	if cfg.MaxObjects <= 0 {
+		cfg.MaxObjects = 100000
 	}
-	if maxBody <= 0 {
-		maxBody = defaultMaxBody
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = defaultMaxBody
 	}
-	h := &Handler{mux: http.NewServeMux(), maxObjects: maxObjects, maxBody: maxBody, runs: newRunRegistry()}
+	h := &Handler{
+		mux:        http.NewServeMux(),
+		maxObjects: cfg.MaxObjects,
+		maxBody:    cfg.MaxBody,
+		runs:       newRunRegistry(cfg.RecentRuns),
+		catalog:    cfg.Catalog,
+		store:      cfg.Store,
+	}
 	h.mux.HandleFunc("GET /v1/health", h.health)
 	h.mux.HandleFunc("GET /v1/version", h.version)
 	h.mux.HandleFunc("GET /v1/pool", h.poolStats)
 	h.mux.HandleFunc("GET /v1/runs", h.listRuns)
 	h.mux.HandleFunc("POST /v1/screen", h.screen)
 	h.mux.HandleFunc("POST /v1/screen/stream", h.screenStream)
+	h.mux.HandleFunc("GET /v1/catalog", h.catalogInfo)
+	h.mux.HandleFunc("POST /v1/catalog/delta", h.catalogDelta)
+	h.mux.HandleFunc("GET /v1/conjunctions", h.queryConjunctions)
 	return h
 }
 
@@ -249,6 +293,22 @@ func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, c := range conjs {
 		out.Conjunctions[i] = h.conjunctionJSON(c, req)
+	}
+	// Persistence sits outside the screening hot path: the run is already
+	// complete; a store failure degrades durability, not the reply.
+	if h.store != nil {
+		id, serr := h.store.Append(store.Run{
+			StartedAt:    start.UTC(),
+			Elapsed:      out.ElapsedSeconds,
+			ThresholdKm:  opts.ThresholdKm,
+			Duration:     opts.DurationSeconds,
+			Objects:      len(sats),
+			Variant:      string(res.Variant),
+			Conjunctions: res.Conjunctions,
+		})
+		if serr == nil {
+			out.StoredRunID = id
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -139,7 +139,7 @@ func TestScreenValidation(t *testing.T) {
 // back to its starting level: an error reply must never strand a pooled
 // grid set.
 func TestScreenErrorPaths(t *testing.T) {
-	h := NewWithLimits(50, 2048)
+	h := NewWithLimits(50, 2048, 0)
 	before := pool.Default.Stats().Outstanding()
 
 	dupSats := crossingPairJSON(1)

@@ -1,0 +1,162 @@
+package httpapi
+
+// The rescreener is the continuous-operation loop: it watches the
+// catalogue version and, whenever a delta has landed, re-screens the
+// population — incrementally when the catalogue's dirty journal covers the
+// window since the last screened version (core.ScreenDelta does N·k work
+// for k dirty objects), with a full-screen fallback when it does not
+// (first run, journal pruned, or a prior failure). Results land in the run
+// registry (visible in /v1/runs while running) and in the store (queryable
+// via /v1/conjunctions after the fact, and after restarts).
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	satconj "repro"
+	"repro/internal/catalog"
+	"repro/internal/store"
+)
+
+// Rescreener periodically re-screens the handler's catalogue. Create with
+// NewRescreener, drive with Run.
+type Rescreener struct {
+	h        *Handler
+	opts     satconj.Options
+	interval time.Duration
+	logf     func(format string, args ...any)
+	nudge    chan struct{}
+
+	// Screening chain state; only the Run goroutine touches it.
+	lastVersion uint64
+	lastEpoch   time.Time
+	lastConj    []satconj.Conjunction
+	hasPrior    bool // a successful pass has produced lastConj (possibly empty)
+}
+
+// NewRescreener wires a rescreener to h (which must have a catalogue;
+// a store is optional but recommended). opts selects the screening
+// parameters for every background run; opts.Variant must be grid or
+// hybrid — the only variants with an incremental mode. interval ≤ 0
+// selects one minute. logf may be nil (silent).
+func NewRescreener(h *Handler, opts satconj.Options, interval time.Duration, logf func(format string, args ...any)) *Rescreener {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Rescreener{h: h, opts: opts, interval: interval, logf: logf, nudge: make(chan struct{}, 1)}
+}
+
+// Nudge requests an immediate pass (coalesced if one is already pending).
+// Safe from any goroutine; used by tests and by operators who do not want
+// to wait out the interval after a delta.
+func (s *Rescreener) Nudge() {
+	select {
+	case s.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// Run screens once immediately, then re-screens on every tick or nudge
+// until ctx is cancelled. It returns ctx.Err(). Run is the only method
+// that screens; call it from exactly one goroutine.
+func (s *Rescreener) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	s.pass(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		case <-s.nudge:
+		}
+		s.pass(ctx)
+	}
+}
+
+// RunOnce performs a single pass synchronously: screen now if the
+// catalogue moved since the last successful pass, otherwise do nothing.
+// It reports whether a screen ran. Intended for tests and one-shot CLI
+// use; do not call concurrently with Run.
+func (s *Rescreener) RunOnce(ctx context.Context) bool {
+	return s.pass(ctx)
+}
+
+// pass runs one re-screen if the catalogue moved since the last one.
+func (s *Rescreener) pass(ctx context.Context) bool {
+	if ctx.Err() != nil || s.h.catalog == nil {
+		return false
+	}
+	rev, dirty, removed, covered := s.h.catalog.DirtySince(catalog.Version(s.lastVersion))
+	version := uint64(rev.Version())
+	if version == s.lastVersion {
+		return false // catalogue unchanged since the last successful pass
+	}
+	// Incremental only when the dirty journal covers (lastVersion, latest],
+	// there is a prior result to extend, and the epoch has not moved (a
+	// re-referenced epoch shifts every object's t = 0, so prior TCAs are
+	// stale even for untouched pairs); otherwise screen from scratch.
+	incremental := covered && s.hasPrior && rev.Epoch().Equal(s.lastEpoch)
+	sats := rev.Satellites()
+
+	variant := string(s.opts.Variant)
+	if variant == "" {
+		variant = string(satconj.VariantHybrid)
+	}
+	mode := "full"
+	if incremental {
+		mode = "delta"
+	}
+	entry := s.h.runs.start("rescreen-"+variant+"-"+mode, len(sats))
+	opts := s.opts
+	opts.Observer = entry.observer()
+
+	start := time.Now()
+	var res *satconj.Result
+	var err error
+	if incremental {
+		res, err = satconj.ScreenDeltaContext(ctx, sats, opts,
+			satconj.DeltaInput{Prior: s.lastConj, Dirty: dirty, Removed: removed})
+	} else {
+		res, err = satconj.ScreenContext(ctx, sats, opts)
+	}
+	if err != nil {
+		status := RunFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = RunCancelled
+		}
+		// Chain state stays put: the next pass retries the same window (or a
+		// wider one if more deltas land meanwhile).
+		s.h.runs.finish(entry, status, -1, err.Error())
+		s.logf("rescreen: version %d failed after %.2fs: %v", version, time.Since(start).Seconds(), err)
+		return false
+	}
+	s.h.runs.finish(entry, RunCompleted, len(res.Conjunctions), "")
+	s.lastVersion = version
+	s.lastEpoch = rev.Epoch()
+	s.lastConj = res.Conjunctions
+	s.hasPrior = true
+
+	if s.h.store != nil {
+		if _, serr := s.h.store.Append(store.Run{
+			CatalogVersion: version,
+			StartedAt:      start.UTC(),
+			Elapsed:        time.Since(start).Seconds(),
+			ThresholdKm:    opts.ThresholdKm,
+			Duration:       opts.DurationSeconds,
+			Objects:        len(sats),
+			Incremental:    incremental,
+			Variant:        "rescreen-" + variant,
+			Conjunctions:   res.Conjunctions,
+		}); serr != nil {
+			s.logf("rescreen: persisting version %d failed: %v", version, serr)
+		}
+	}
+	s.logf("rescreen: version %d, %d objects, %d dirty, %d conjunctions (%s, %.2fs)",
+		version, len(sats), len(dirty), len(res.Conjunctions), mode, time.Since(start).Seconds())
+	return true
+}

@@ -89,19 +89,24 @@ func (e *runEntry) snapshot(now time.Time) RunInfo {
 	return info
 }
 
-// recentRuns caps how many finished runs stay visible in /v1/runs.
-const recentRuns = 32
+// defaultRecentRuns is the /v1/runs retention cap when the server is not
+// configured with an explicit one (Config.RecentRuns).
+const defaultRecentRuns = 32
 
 // runRegistry tracks in-flight runs plus a bounded ring of finished ones.
 type runRegistry struct {
 	mu     sync.Mutex
+	cap    int // finished-run retention; fixed at construction
 	nextID int64
 	active map[string]*runEntry
-	recent []*runEntry // oldest first, capped at recentRuns
+	recent []*runEntry // oldest first, capped at cap
 }
 
-func newRunRegistry() *runRegistry {
-	return &runRegistry{active: make(map[string]*runEntry)}
+func newRunRegistry(recentCap int) *runRegistry {
+	if recentCap <= 0 {
+		recentCap = defaultRecentRuns
+	}
+	return &runRegistry{cap: recentCap, active: make(map[string]*runEntry)}
 }
 
 // start registers a new running entry.
@@ -137,8 +142,8 @@ func (g *runRegistry) finish(e *runEntry, status RunStatus, conjunctions int, er
 	g.mu.Lock()
 	delete(g.active, id)
 	g.recent = append(g.recent, e)
-	if len(g.recent) > recentRuns {
-		g.recent = g.recent[len(g.recent)-recentRuns:]
+	if len(g.recent) > g.cap {
+		g.recent = g.recent[len(g.recent)-g.cap:]
 	}
 	g.mu.Unlock()
 }
@@ -187,12 +192,23 @@ func sortRunInfos(infos []RunInfo) {
 	}
 }
 
-// RunsResponse is the GET /v1/runs reply.
+// RunsResponse is the GET /v1/runs reply. History lists persisted run
+// headers (newest first) when a store is attached — unlike Runs, these
+// survive a server restart.
 type RunsResponse struct {
-	Runs []RunInfo `json:"runs"`
+	Runs    []RunInfo       `json:"runs"`
+	History []StoredRunJSON `json:"history,omitempty"`
 }
 
 // listRuns serves GET /v1/runs.
 func (h *Handler) listRuns(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, RunsResponse{Runs: h.runs.list()})
+	resp := RunsResponse{Runs: h.runs.list()}
+	if h.store != nil {
+		persisted := h.store.Runs(h.runs.cap)
+		resp.History = make([]StoredRunJSON, len(persisted))
+		for i, r := range persisted {
+			resp.History[i] = storedRunJSON(r)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

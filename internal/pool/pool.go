@@ -57,6 +57,7 @@ const (
 	maxIdleIndexes   = 8
 	maxIdleSnapshots = 64  // batched runs hold ParallelSteps snapshots, like grids
 	maxIdleKeyBufs   = 128 // runs hold one per worker; device backends have many workers
+	maxIdleBitsets   = 8   // delta screens hold two (dirty + touched) per run
 )
 
 // oversizeFactor bounds how much larger than requested a reused structure
@@ -79,6 +80,7 @@ type Pool struct {
 	snapshots []*lockfree.GridSnapshot
 	keyBufs   [][]uint64
 	kcaches   [][]propagation.KeplerCache
+	bitsets   [][]uint64
 
 	gets atomic.Int64
 	puts atomic.Int64
@@ -128,6 +130,7 @@ func (p *Pool) Drain() {
 	p.snapshots = nil
 	p.keyBufs = nil
 	p.kcaches = nil
+	p.bitsets = nil
 	p.mu.Unlock()
 }
 
@@ -474,6 +477,56 @@ func (p *Pool) PutKeplerCache(c []propagation.KeplerCache) {
 	p.mu.Lock()
 	if len(p.kcaches) < maxIdleBuffers {
 		p.kcaches = append(p.kcaches, c)
+	}
+	p.mu.Unlock()
+}
+
+// GetBitset returns a zeroed ID bitset of exactly `words` uint64 words —
+// the dirty/touched membership sets of an incremental (delta) screen. The
+// zeroing pass is what makes reuse correct, so Get pays O(words); words is
+// maxID/64, tiny next to the structures the screen itself holds.
+func (p *Pool) GetBitset(words int) []uint64 {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		best := -1
+		for i, b := range p.bitsets {
+			if cap(b) < words || cap(b) > oversizeFactor*(words+1) {
+				continue
+			}
+			if best < 0 || cap(b) < cap(p.bitsets[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			b := p.bitsets[best]
+			last := len(p.bitsets) - 1
+			p.bitsets[best] = p.bitsets[last]
+			p.bitsets[last] = nil
+			p.bitsets = p.bitsets[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			b = b[:words]
+			clear(b)
+			return b
+		}
+		p.mu.Unlock()
+	}
+	return make([]uint64, words)
+}
+
+// PutBitset returns a bitset to the pool. nil is ignored.
+func (p *Pool) PutBitset(b []uint64) {
+	if b == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bitsets) < maxIdleBitsets {
+		p.bitsets = append(p.bitsets, b)
 	}
 	p.mu.Unlock()
 }

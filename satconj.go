@@ -192,9 +192,46 @@ func NewSatellite(id int32, el Elements) (Satellite, error) {
 	return propagation.NewSatellite(id, el)
 }
 
+// DeltaInput carries the state an incremental screen resumes from: the
+// previous result's conjunctions plus the IDs that changed since it was
+// computed. See core.DeltaInput for the exact contract.
+type DeltaInput = core.DeltaInput
+
 // Screen runs the selected screening variant over the population.
 func Screen(sats []Satellite, o Options) (*Result, error) {
 	return ScreenContext(context.Background(), sats, o)
+}
+
+// ScreenDelta incrementally re-screens after a catalogue delta: the grid
+// still holds the full population, but candidate pairs are emitted — and
+// refined — only when at least one member is dirty, and conjunctions among
+// untouched objects are carried over from delta.Prior. With k changed
+// objects the refinement work scales with N·k instead of N², while the
+// result matches a full Screen of the same population (the delta
+// differential battery in internal/core pins this). Grid and hybrid
+// variants only.
+func ScreenDelta(sats []Satellite, o Options, delta DeltaInput) (*Result, error) {
+	return ScreenDeltaContext(context.Background(), sats, o, delta)
+}
+
+// ScreenDeltaContext is ScreenDelta with cooperative cancellation, under
+// the same contract as ScreenContext.
+func ScreenDeltaContext(ctx context.Context, sats []Satellite, o Options, delta DeltaInput) (*Result, error) {
+	var prop propagation.Propagator = propagation.TwoBody{}
+	if o.UseJ2 {
+		prop = propagation.J2{}
+	}
+	if o.Propagator != nil {
+		prop = o.Propagator
+	}
+	switch o.Variant {
+	case VariantGrid:
+		return core.NewGrid(o.coreConfig(prop)).ScreenDelta(ctx, sats, delta)
+	case VariantHybrid, "":
+		return core.NewHybrid(o.coreConfig(prop)).ScreenDelta(ctx, sats, delta)
+	default:
+		return nil, fmt.Errorf("satconj: variant %q has no incremental mode (grid and hybrid only)", o.Variant)
+	}
 }
 
 // ScreenContext is Screen with cooperative cancellation: when ctx is
