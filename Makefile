@@ -13,8 +13,10 @@ build:
 test:
 	$(GO) test ./...
 
-## lint: go vet plus the repo's own analyzer suite (cmd/vetconj).
-## See DESIGN.md §7 for what each analyzer enforces and how to opt out.
+## lint: go vet plus the repo's own eight-analyzer suite (cmd/vetconj):
+## the AST-pattern checks of DESIGN.md §7 and the flow-sensitive
+## poolbalance/frozenwrite/sinklock checks of DESIGN.md §12. Opt-outs are
+## //lint:<analyzer>-ok with a justification on the same line.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/vetconj ./...

@@ -1,0 +1,408 @@
+// Package frozenwrite proves that a frozen GridSnapshot is never mutated.
+// PR 4's cache-coherent candidate generation publishes CSR grid snapshots to
+// concurrent readers with a single Freeze; the safety argument is precisely
+// that no store follows the freeze, so readers need no locks and the race
+// detector stays quiet. A write after Freeze — a field store, an element
+// store through a receiver, or a call to any mutating method — silently
+// re-introduces the data race the snapshot design exists to remove.
+//
+// The analyzer tracks every expression of (pointer-to-)named type
+// `GridSnapshot` — plain locals and one-level field paths like `r.snap` —
+// through the shared CFG/dataflow layer as a may-analysis:
+//
+//	mutable (0) ──Freeze──▶ frozen (1) ──PutSnapshot──▶ recycled (2)
+//
+// Rebinding the tracked expression (`snap = other`, `r.snap = nil`) returns
+// it to mutable, and Reset is whitelisted as the documented recycle path
+// (the pool wipes before reuse). While frozen, the analyzer reports field
+// or element stores through the snapshot and calls to mutating methods;
+// once recycled, ANY use — read or write — is a use-after-recycle, because
+// the pool may already have handed the snapshot to another run.
+//
+// The mutating-method set is computed per package by a fixpoint over the
+// GridSnapshot methods in the files under analysis: a method mutates if it
+// stores through its receiver or calls another mutating method on it.
+// Methods defined in other packages are invisible; that is sound for this
+// repository because every GridSnapshot mutator except the whitelisted
+// Freeze/Reset is unexported in internal/lockfree and therefore
+// uncallable from the flagged packages.
+package frozenwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the frozenwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "frozenwrite",
+	Doc: "no field store or mutating method may reach a GridSnapshot after " +
+		"Freeze; after PutSnapshot any use at all is a use-after-recycle",
+	Run: run,
+}
+
+// snapshotTypeName is the tracked type, matched by name so the analyzer's
+// fixtures (self-contained packages) exercise the same rules as
+// internal/lockfree.GridSnapshot.
+const snapshotTypeName = "GridSnapshot"
+
+// Snapshot states; the max-join keeps the most-progressed state at merges,
+// so freezing on one arm of a branch protects the code after the join.
+const (
+	stFrozen   = 1
+	stRecycled = 2
+)
+
+// whitelisted methods: Freeze is the transition itself; Reset is the
+// documented recycle-path wipe and returns the snapshot to mutable.
+var allowedOnFrozen = map[string]bool{"Freeze": true, "Reset": true}
+
+// fieldKey tracks one-level paths like `r.snap`: the base object plus the
+// field name. (Plain locals are keyed by their types.Object directly.)
+type fieldKey struct {
+	base  types.Object
+	field string
+}
+
+func run(pass *analysis.Pass) error {
+	mutators := mutatingMethods(pass)
+	for _, file := range pass.Files {
+		analysis.ForEachFuncBody(file, func(_ ast.Node, body *ast.BlockStmt) {
+			checkFunc(pass, mutators, body)
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	mutators map[string]bool
+}
+
+func checkFunc(pass *analysis.Pass, mutators map[string]bool, body *ast.BlockStmt) {
+	// Fast path: skip bodies that never mention the snapshot type.
+	mentions := false
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		if mentions {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isSnapshotType(pass.TypesInfo.TypeOf(e)) {
+			mentions = true
+		}
+		return true
+	})
+	if !mentions {
+		return
+	}
+	c := &checker{pass: pass, mutators: mutators}
+	g := analysis.BuildCFG(body)
+	problem := analysis.FlowProblem{Transfer: c.transfer, Join: analysis.JoinMax}
+	entries := analysis.SolveFlow(g, problem)
+	analysis.ReplayFlow(g, problem, entries, c.visit, nil)
+}
+
+// transfer applies the state transitions; all reporting lives in visit.
+func (c *checker) transfer(n ast.Node, st analysis.FlowState) {
+	analysis.InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if key := c.snapKey(lhs); key != nil {
+					// Rebinding the tracked expression points it at a new
+					// (or no) snapshot, which is mutable until frozen.
+					st.Set(key, 0)
+				}
+			}
+		case *ast.CallExpr:
+			c.transferCall(m, st)
+		}
+		return true
+	})
+}
+
+func (c *checker) transferCall(call *ast.CallExpr, st analysis.FlowState) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// PutSnapshot(x): the pool owns x now.
+	if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Name() == "PutSnapshot" {
+		for _, arg := range call.Args {
+			if key := c.snapKey(arg); key != nil {
+				st.Set(key, stRecycled)
+			}
+		}
+		return
+	}
+	// Method calls on a tracked snapshot.
+	if key := c.snapKey(sel.X); key != nil {
+		switch sel.Sel.Name {
+		case "Freeze":
+			if st.Get(key) != stRecycled {
+				st.Set(key, stFrozen)
+			}
+		case "Reset":
+			if st.Get(key) != stRecycled {
+				st.Set(key, 0)
+			}
+		}
+	}
+}
+
+// visit reports violations given the replayed state at each node.
+func (c *checker) visit(n ast.Node, st analysis.FlowState) {
+	analysis.InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if c.snapKey(lhs) != nil {
+					continue // rebind, not a store through the snapshot
+				}
+				c.checkStore(lhs, st)
+			}
+		case *ast.IncDecStmt:
+			c.checkStore(m.X, st)
+		case *ast.CallExpr:
+			c.visitCall(m, st)
+		}
+		return true
+	})
+}
+
+// checkStore reports when the store target is rooted in a tracked snapshot
+// (s.mask = …, s.keys[i] = …, r.snap.start[j] = …).
+func (c *checker) checkStore(lhs ast.Expr, st analysis.FlowState) {
+	key, path := c.rootSnapshot(lhs)
+	if key == nil {
+		return
+	}
+	switch st.Get(key) {
+	case stFrozen:
+		c.pass.Reportf(lhs.Pos(),
+			"store to %s after Freeze: frozen snapshots are published to lock-free readers and must never be mutated",
+			path)
+	case stRecycled:
+		c.pass.Reportf(lhs.Pos(),
+			"store to %s after PutSnapshot: the pool may already have recycled this snapshot into another run",
+			path)
+	}
+}
+
+func (c *checker) visitCall(call *ast.CallExpr, st analysis.FlowState) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if ok {
+		if key := c.snapKey(sel.X); key != nil {
+			switch st.Get(key) {
+			case stFrozen:
+				if c.mutators[sel.Sel.Name] && !allowedOnFrozen[sel.Sel.Name] {
+					c.pass.Reportf(call.Pos(),
+						"call to mutating method %s on %s after Freeze: frozen snapshots must stay immutable",
+						sel.Sel.Name, exprString(sel.X))
+				}
+			case stRecycled:
+				c.pass.Reportf(call.Pos(),
+					"use of %s after PutSnapshot: method %s may observe a snapshot recycled into another run",
+					exprString(sel.X), sel.Sel.Name)
+			}
+			return
+		}
+	}
+	// Recycled snapshots must not even be passed along (PutSnapshot itself
+	// is the transition, so skip it — transfer already modelled it).
+	if fn, isFn := c.calleeName(call); isFn && fn == "PutSnapshot" {
+		return
+	}
+	for _, arg := range call.Args {
+		if key := c.snapKey(arg); key != nil && st.Get(key) == stRecycled {
+			c.pass.Reportf(arg.Pos(),
+				"use of %s after PutSnapshot: the value now belongs to the pool",
+				exprString(arg))
+		}
+	}
+}
+
+func (c *checker) calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// snapKey returns the tracking key when e is exactly a tracked snapshot
+// expression: a plain local/param identifier, or a one-level field path
+// `base.field`, of (pointer-to-)GridSnapshot type.
+func (c *checker) snapKey(e ast.Expr) any {
+	e = ast.Unparen(e)
+	if !isSnapshotType(c.pass.TypesInfo.TypeOf(e)) {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.ObjectOf(e)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		base, ok := e.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		baseObj := c.pass.TypesInfo.ObjectOf(base)
+		if baseObj == nil {
+			return nil
+		}
+		return fieldKey{base: baseObj, field: e.Sel.Name}
+	}
+	return nil
+}
+
+// rootSnapshot walks selector/index/star prefixes of a store target until it
+// finds a tracked snapshot, returning its key and a printable path.
+func (c *checker) rootSnapshot(e ast.Expr) (any, string) {
+	for {
+		e = ast.Unparen(e)
+		if key := c.snapKey(e); key != nil {
+			return key, exprString(e)
+		}
+		switch w := e.(type) {
+		case *ast.SelectorExpr:
+			e = w.X
+		case *ast.IndexExpr:
+			e = w.X
+		case *ast.StarExpr:
+			e = w.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// isSnapshotType reports whether t is (a pointer to) the named snapshot
+// type.
+func isSnapshotType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == snapshotTypeName
+}
+
+// mutatingMethods computes, by fixpoint over the package's own GridSnapshot
+// method declarations, the set of methods that store through their receiver
+// directly or transitively.
+func mutatingMethods(pass *analysis.Pass) map[string]bool {
+	type method struct {
+		recv string
+		body *ast.BlockStmt
+	}
+	byName := map[string]*method{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			if !recvIsSnapshot(fd.Recv.List[0].Type) || len(fd.Recv.List[0].Names) != 1 {
+				continue
+			}
+			byName[fd.Name.Name] = &method{recv: fd.Recv.List[0].Names[0].Name, body: fd.Body}
+		}
+	}
+	mutators := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for name, m := range byName {
+			if mutators[name] {
+				continue
+			}
+			if methodMutates(m.recv, m.body, mutators) {
+				mutators[name] = true
+				changed = true
+			}
+		}
+	}
+	return mutators
+}
+
+func recvIsSnapshot(t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == snapshotTypeName
+}
+
+// methodMutates reports whether the body stores through the named receiver
+// or calls one of the currently known mutators on it.
+func methodMutates(recv string, body *ast.BlockStmt, mutators map[string]bool) bool {
+	found := false
+	storesThrough := func(e ast.Expr) bool {
+		for {
+			switch w := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				return w.Name == recv
+			case *ast.SelectorExpr:
+				e = w.X
+			case *ast.IndexExpr:
+				e = w.X
+			case *ast.StarExpr:
+				e = w.X
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// A bare `recv = …` rebinds the local pointer, it does not
+				// mutate the pointee; only stores THROUGH the receiver count.
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == recv {
+					continue
+				}
+				if storesThrough(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := ast.Unparen(n.X).(*ast.Ident); !isIdent && storesThrough(n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv && mutators[sel.Sel.Name] {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders the small receiver expressions used in diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	}
+	return "snapshot"
+}

@@ -1,0 +1,12 @@
+package frozenwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/frozenwrite"
+)
+
+func TestFrozenWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", frozenwrite.Analyzer, "a")
+}

@@ -51,11 +51,25 @@ type LoadOptions struct {
 
 // Load enumerates the packages matching the patterns with `go list`, parses
 // and type-checks them in dependency order, and returns them ready for
-// analysis. Standard-library imports are resolved through the compiler's
-// export data (with a source-based fallback), so no network or module
-// downloads are involved.
+// analysis. Module-internal dependencies outside the matched set are
+// type-checked too (so every package in the closure shares one type
+// universe) but are not analyzed or returned. Standard-library imports are
+// resolved through the compiler's export data (with a source-based
+// fallback), so no network or module downloads are involved.
 func Load(patterns []string, opt LoadOptions) ([]*Package, error) {
 	listed, err := goList(patterns, opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	roots := make(map[string]bool, len(listed))
+	for _, lp := range listed {
+		roots[lp.ImportPath] = true
+	}
+	listed, byPath, err := closeOverDeps(listed, opt)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(listed, byPath)
 	if err != nil {
 		return nil, err
 	}
@@ -65,18 +79,11 @@ func Load(patterns []string, opt LoadOptions) ([]*Package, error) {
 	checked := make(map[string]*types.Package)
 	imp := &moduleImporter{std: std, checked: checked}
 
-	byPath := make(map[string]*listedPackage, len(listed))
-	for _, lp := range listed {
-		byPath[lp.ImportPath] = lp
-	}
-	order, err := topoSort(listed, byPath)
-	if err != nil {
-		return nil, err
-	}
-
 	var pkgs []*Package
 	for _, lp := range order {
-		files, err := parsePackage(fset, lp, opt.Tests)
+		// Test files only matter for the packages under analysis; a
+		// dependency's exported API never changes with them.
+		files, err := parsePackage(fset, lp, opt.Tests && roots[lp.ImportPath])
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +94,9 @@ func Load(patterns []string, opt LoadOptions) ([]*Package, error) {
 			return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
 		}
 		checked[lp.ImportPath] = tpkg
+		if !roots[lp.ImportPath] {
+			continue
+		}
 		pkgs = append(pkgs, &Package{
 			Path:  lp.ImportPath,
 			Dir:   lp.Dir,
@@ -97,6 +107,53 @@ func Load(patterns []string, opt LoadOptions) ([]*Package, error) {
 		})
 	}
 	return pkgs, nil
+}
+
+// closeOverDeps expands the matched packages to their module-internal import
+// closure. Without this, analyzing a subset (`vetconj ./internal/httpapi`)
+// would resolve the subset's module-internal imports through the
+// source-based fallback importer, whose private standard-library instances
+// collide with the shared ones and produce spurious "time.Time is not
+// time.Time" type errors. Standard-library imports never enter the closure:
+// goList drops them, and the seen set stops them from being re-queried.
+func closeOverDeps(listed []*listedPackage, opt LoadOptions) ([]*listedPackage, map[string]*listedPackage, error) {
+	byPath := make(map[string]*listedPackage, len(listed))
+	seen := make(map[string]bool, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+		seen[lp.ImportPath] = true
+	}
+	missing := func(lps []*listedPackage, tests bool) []string {
+		var out []string
+		for _, lp := range lps {
+			deps := lp.Imports
+			if tests {
+				deps = append(append([]string(nil), deps...), lp.TestImports...)
+			}
+			for _, dep := range deps {
+				if dep == "C" || seen[dep] {
+					continue
+				}
+				seen[dep] = true
+				out = append(out, dep)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	pending := missing(listed, opt.Tests)
+	for len(pending) > 0 {
+		more, err := goList(pending, opt.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, lp := range more {
+			byPath[lp.ImportPath] = lp
+			listed = append(listed, lp)
+		}
+		pending = missing(more, false)
+	}
+	return listed, byPath, nil
 }
 
 // newInfo allocates a fully-populated types.Info.
@@ -146,8 +203,8 @@ func goList(patterns []string, dir string) ([]*listedPackage, error) {
 }
 
 // topoSort orders packages so every module-internal import precedes its
-// importer. Imports outside the listed set resolve through the importer
-// chain instead.
+// importer. After closeOverDeps, only standard-library imports remain
+// outside the listed set; they resolve through the importer chain.
 func topoSort(listed []*listedPackage, byPath map[string]*listedPackage) ([]*listedPackage, error) {
 	const (
 		unvisited = 0

@@ -1,0 +1,12 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolbalance"
+)
+
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", poolbalance.Analyzer, "a")
+}

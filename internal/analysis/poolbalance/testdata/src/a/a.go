@@ -1,0 +1,215 @@
+// Package a is the poolbalance fixture: a self-contained model of the
+// repository's pooling shapes (internal/pool.Pool methods and sync.Pool),
+// with want-comments on every line the analyzer must flag.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type GridSet struct{ n int }
+type PairSet struct{ n int }
+
+// Both buffer pools hand out the same underlying type, exactly like the
+// real pool's key and bitset buffers — only the Get/Put names distinguish
+// them, which is what the kind-mismatch check exists for.
+type KeyBuf = []uint64
+type Bitset = []uint64
+
+// Pool mirrors internal/pool.Pool: matching is by receiver type name and
+// the Get/Put method-name pair, so this stand-in exercises the same rules.
+type Pool struct{}
+
+func (p *Pool) GetGridSet(n int) *GridSet  { return &GridSet{n} }
+func (p *Pool) PutGridSet(g *GridSet)      {}
+func (p *Pool) GetPairSet(n int) *PairSet  { return &PairSet{n} }
+func (p *Pool) PutPairSet(s *PairSet)      {}
+func (p *Pool) GetKeyBuf(n int) KeyBuf     { return make(KeyBuf, 0, n) }
+func (p *Pool) PutKeyBuf(b KeyBuf)         {}
+func (p *Pool) GetBitset(words int) Bitset { return make(Bitset, words) }
+func (p *Pool) PutBitset(b Bitset)         {}
+
+func (g *GridSet) Insert(id int)   {}
+func (s *PairSet) Insert(a, b int) {}
+func use(x interface{})            {}
+func sink(bufs []KeyBuf, b KeyBuf) {}
+
+var registry = map[string]*GridSet{}
+var ch = make(chan *GridSet, 1)
+
+// --- leaks the flow analysis must catch ---
+
+func leakStraightLine(p *Pool) {
+	b := p.GetKeyBuf(8) // want "b from GetKeyBuf may not reach PutKeyBuf on the fall-through path"
+	_ = len(b)
+}
+
+func leakEarlyReturn(p *Pool, cond bool) {
+	b := p.GetKeyBuf(8) // want "b from GetKeyBuf may not reach PutKeyBuf on the return path"
+	if cond {
+		return
+	}
+	p.PutKeyBuf(b)
+}
+
+func leakPanicEdge(p *Pool, bad bool) {
+	g := p.GetGridSet(16) // want "g from GetGridSet may not reach PutGridSet on the panic path"
+	if bad {
+		panic("re-insert failed")
+	}
+	p.PutGridSet(g)
+}
+
+func leakOneArm(p *Pool, cond bool) {
+	g := p.GetGridSet(16) // want "g from GetGridSet may not reach PutGridSet"
+	if cond {
+		p.PutGridSet(g)
+	}
+}
+
+func leakConditionalPutInLoop(p *Pool, n int, cond bool) {
+	b := p.GetKeyBuf(8) // want "b from GetKeyBuf may not reach PutKeyBuf"
+	for i := 0; i < n; i++ {
+		if cond {
+			p.PutKeyBuf(b)
+		}
+	}
+}
+
+func leakSyncPool(sp *sync.Pool, cond bool) {
+	s := sp.Get().(*GridSet) // want "s from Get may not reach Put on the return path"
+	if cond {
+		return
+	}
+	sp.Put(s)
+}
+
+// --- flow-insensitive companions ---
+
+func discardedResult(p *Pool) {
+	p.GetKeyBuf(8) // want "result of GetKeyBuf is discarded"
+}
+
+func blankedResult(p *Pool) {
+	_ = p.GetKeyBuf(8) // want "result of GetKeyBuf is assigned to _"
+}
+
+func kindMismatch(p *Pool) {
+	b := p.GetKeyBuf(8)
+	p.PutBitset(b) // want "PutBitset recycles b, which was produced by GetKeyBuf"
+}
+
+func kindMismatchHiddenByConversion(p *Pool) {
+	b := p.GetBitset(4)
+	p.PutKeyBuf(KeyBuf(b)) // the conversion hides the ident: treated as an escape, silent
+}
+
+// --- balanced and escaping shapes that must stay silent ---
+
+func balanced(p *Pool) {
+	g := p.GetGridSet(32)
+	g.Insert(1)
+	p.PutGridSet(g)
+}
+
+func deferredRelease(p *Pool, cond bool) {
+	g := p.GetGridSet(32)
+	defer p.PutGridSet(g)
+	if cond {
+		return
+	}
+	g.Insert(2)
+}
+
+func deferredCoversPanic(p *Pool, bad bool) {
+	g := p.GetGridSet(32)
+	defer p.PutGridSet(g)
+	if bad {
+		panic("covered by the defer")
+	}
+}
+
+func deferredClosureRelease(p *Pool) {
+	g := p.GetGridSet(32)
+	b := p.GetKeyBuf(8)
+	defer func() {
+		p.PutKeyBuf(b)
+		p.PutGridSet(g)
+	}()
+	g.Insert(3)
+}
+
+func escapeByReturn(p *Pool) *GridSet {
+	g := p.GetGridSet(32)
+	return g
+}
+
+func escapeIntoStruct(p *Pool) {
+	g := p.GetGridSet(32)
+	use(&struct{ g *GridSet }{g})
+}
+
+func escapeIntoMap(p *Pool) {
+	g := p.GetGridSet(32)
+	registry["g"] = g
+}
+
+func escapeByChannel(p *Pool) {
+	g := p.GetGridSet(32)
+	ch <- g
+}
+
+func escapeAsArgument(p *Pool) {
+	b := p.GetKeyBuf(8)
+	use(b)
+}
+
+func escapeByAddress(p *Pool) {
+	b := p.GetKeyBuf(8)
+	use(&b)
+}
+
+func escapeByClosure(p *Pool) func() {
+	g := p.GetGridSet(32)
+	return func() { g.Insert(4) }
+}
+
+func escapeInCompositeElement(p *Pool) {
+	b := p.GetKeyBuf(8)
+	sink([]KeyBuf{b}, nil)
+}
+
+func moveSemantics(p *Pool) {
+	x := p.GetKeyBuf(8)
+	y := x
+	p.PutKeyBuf(y)
+}
+
+func balancedLoopBody(p *Pool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.GetKeyBuf(8)
+		p.PutKeyBuf(b)
+	}
+}
+
+func processExitIsExempt(p *Pool, bad bool) {
+	b := p.GetKeyBuf(8)
+	if bad {
+		os.Exit(2)
+	}
+	p.PutKeyBuf(b)
+}
+
+func syncPoolBalanced(sp *sync.Pool) {
+	s := sp.Get().(*GridSet)
+	defer sp.Put(s)
+	s.Insert(5)
+}
+
+// suppressedLeak documents an ownership transfer the escape rules cannot
+// see; the annotation keeps it out of the diagnostics.
+func suppressedLeak(p *Pool) {
+	g := p.GetGridSet(32) //lint:poolbalance-ok ownership transfers via registry side effect below
+	registry["hidden"].n = g.n
+}

@@ -1,0 +1,12 @@
+package sinklock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sinklock"
+)
+
+func TestSinkLock(t *testing.T) {
+	analysistest.Run(t, "testdata", sinklock.Analyzer, "a")
+}

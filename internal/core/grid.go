@@ -641,6 +641,10 @@ func (r *run) scanSlotsLinked(gs *lockfree.GridSet, lo, hi int, step uint32, scr
 func (r *run) growPairs() {
 	old := r.pairs
 	bigger := r.pool.GetPairSet(2 * old.Slots())
+	// Publish the replacement before re-inserting: if the copy panics, the
+	// run's deferred release() then owns bigger and returns it to the pool
+	// instead of leaking it on the panic edge.
+	r.pairs = bigger
 	for _, p := range old.Items(nil) {
 		if _, err := bigger.Insert(p.A, p.B, p.Step); err != nil {
 			// Doubling always fits the existing items; reaching this means
@@ -648,7 +652,6 @@ func (r *run) growPairs() {
 			panic(fmt.Sprintf("core: re-insertion into doubled pair set failed: %v", err))
 		}
 	}
-	r.pairs = bigger
 	r.pool.PutPairSet(old)
 	r.stats.PairSetGrowths++
 }

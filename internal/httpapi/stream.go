@@ -92,7 +92,9 @@ func (h *Handler) screenStream(w http.ResponseWriter, r *http.Request) {
 
 	opts.Observer = satconj.ObserverFuncs{
 		Step: func(s satconj.StepInfo) {
-			regObs.OnStep(s)
+			// This closure IS the Observer the pipeline serialises under its
+			// obsMu; the registry fan-out inherits that guarantee.
+			regObs.OnStep(s) //lint:sinklock-ok serialisation inherited from the pipeline's obsMu around this Observer
 			// Thin long runs to ~100 progress lines; the first and last
 			// step always emit.
 			every := s.Steps / 100
@@ -104,7 +106,7 @@ func (h *Handler) screenStream(w http.ResponseWriter, r *http.Request) {
 			}
 		},
 		Phase: func(p satconj.PhaseInfo) {
-			regObs.OnPhase(p)
+			regObs.OnPhase(p) //lint:sinklock-ok serialisation inherited from the pipeline's obsMu around this Observer
 			sw.send(StreamEvent{Type: "phase", Phase: string(p.Phase), ElapsedSeconds: p.Elapsed.Seconds(), Pairs: p.Candidates})
 		},
 	}

@@ -324,7 +324,9 @@ func (o Options) coreConfig(prop propagation.Propagator) core.Config {
 // and with it the /v1/screen/stream event schema — identical across variants.
 func emitZeroFreeze(obs Observer) {
 	if obs != nil {
-		obs.OnPhase(core.PhaseInfo{Phase: core.PhaseFreeze})
+		// Runs on the single screening goroutine before any worker exists;
+		// there is no concurrent deliverer to serialise against yet.
+		obs.OnPhase(core.PhaseInfo{Phase: core.PhaseFreeze}) //lint:sinklock-ok pre-run single-goroutine emission, no concurrent deliverer exists
 	}
 }
 
