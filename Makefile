@@ -29,11 +29,13 @@ race:
 ## fuzz: short fuzz sessions — MurmurHash3 invariants (determinism,
 ## streaming/one-shot agreement, finaliser avalanche), TLE parsing and
 ## CCSDS CDM/KVN parsing (no-panic on arbitrary input, guarded
-## write/parse round trips).
+## write/parse round trips), and the Brent minimiser (no-panic,
+## bracketing invariant, value/abscissa consistency).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzMurmur3 -fuzztime=20s ./internal/hash
 	$(GO) test -run=^$$ -fuzz=FuzzTLEParse -fuzztime=20s ./internal/tle
 	$(GO) test -run=^$$ -fuzz=FuzzParseKVN -fuzztime=20s ./internal/ccsds
+	$(GO) test -run=^$$ -fuzz=FuzzBrent -fuzztime=20s ./internal/brent
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -484,7 +484,7 @@ func runTimeshare(ctx *benchCtx) error {
 		return err
 	}
 	t := report.NewTable(fmt.Sprintf("Phase shares at n=%d, span %.0f s, threshold %.1f km", n, duration, threshold),
-		"Variant", "CD %", "INS %", "FRZ %", "coplanarity %")
+		"Variant", "CD %", "INS %", "FRZ %", "REF %", "coplanarity %")
 	for _, v := range []satconj.Variant{satconj.VariantGrid, satconj.VariantHybrid} {
 		res, _, err := screenTimed(ctx, sats, satconj.Options{
 			Variant: v, ThresholdKm: threshold, DurationSeconds: duration,
@@ -498,6 +498,7 @@ func runTimeshare(ctx *benchCtx) error {
 			fmt.Sprintf("%.0f", 100*float64(st.Detection)/total),
 			fmt.Sprintf("%.0f", 100*float64(st.Insertion)/total),
 			fmt.Sprintf("%.0f", 100*float64(st.Freeze)/total),
+			fmt.Sprintf("%.0f", 100*float64(st.Refine)/total),
 			fmt.Sprintf("%.0f", 100*float64(st.Coplanarity)/total))
 	}
 	if err := t.WriteASCII(os.Stdout); err != nil {

@@ -30,14 +30,14 @@ func benchShellPopulation(b testing.TB, n int) []propagation.Satellite {
 	return sats
 }
 
-// Full 26-neighbour enumeration vs the 13-cell half neighbourhood: results
-// are identical (the pair set dedups); the half variant halves the
-// neighbour-lookup constant.
+// Full 26-neighbour enumeration vs the 13-cell half neighbourhood (the
+// default): results are identical (the pair set dedups); the half variant
+// halves the neighbour-lookup constant.
 func BenchmarkNeighborhood_Full26(b *testing.B) {
 	sats := benchShellPopulation(b, 4000)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 60}).Screen(sats); err != nil {
+		if _, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 60, UseFullNeighborhood: true}).Screen(sats); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,7 +47,7 @@ func BenchmarkNeighborhood_Half13(b *testing.B) {
 	sats := benchShellPopulation(b, 4000)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 60, UseHalfNeighborhood: true}).Screen(sats); err != nil {
+		if _, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 60}).Screen(sats); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -118,6 +118,64 @@ func TestCancelDuringSamplingUnwindsPromptly(t *testing.T) {
 	}
 }
 
+// cancelOnEmit is a Sink that cancels the run's context the moment the
+// first conjunction is emitted — cancellation landing inside the refine
+// phase, after sampling has fully succeeded.
+type cancelOnEmit struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	seen   int
+}
+
+func (c *cancelOnEmit) Emit(Conjunction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen++
+	if c.seen == 1 {
+		c.cancel()
+	}
+}
+
+func (c *cancelOnEmit) emissions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen
+}
+
+// TestCancelMidRefineAbortsAndBalancesPool cancels from inside the sink on
+// the first emitted conjunction, so the cancellation lands mid-refinement —
+// after the batched refiner has bound evaluators and possibly between two
+// candidates of one worker chunk. The screen must abort with
+// context.Canceled (no partial Result), even though at least one
+// conjunction was already confirmed and streamed, and the shared pool must
+// balance on the abort path.
+func TestCancelMidRefineAbortsAndBalancesPool(t *testing.T) {
+	sats := engineeredPopulation(t)
+	p := pool.New()
+	for _, v := range cancelVariants(p) {
+		ctx, cancel := context.WithCancel(context.Background())
+		sink := &cancelOnEmit{cancel: cancel}
+		cfg := v.cfg
+		cfg.Sink = sink
+
+		res, err := v.screen(ctx, cfg, sats)
+		cancel()
+
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled from the mid-refine cancel", v.name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: got a result alongside the mid-refine cancellation", v.name)
+		}
+		if got := sink.emissions(); got < 1 {
+			t.Errorf("%s: %d emissions before abort, want >= 1 (cancel must land mid-refine)", v.name, got)
+		}
+		if out := p.Stats().Outstanding(); out != 0 {
+			t.Fatalf("%s: pool left %d structures outstanding after mid-refine abort", v.name, out)
+		}
+	}
+}
+
 // TestPreCancelledContextReturnsImmediately hands every variant an
 // already-dead context: no sampling may happen and the pool must balance.
 func TestPreCancelledContextReturnsImmediately(t *testing.T) {

@@ -66,10 +66,13 @@ type Config struct {
 	// from the population (callers with an Extra-P model estimate pass it
 	// here). The set grows automatically on overflow either way.
 	PairSlotHint int
-	// UseHalfNeighborhood enumerates 13 instead of 26 neighbour cells,
-	// visiting each adjacent cell pair once (an ablation; results are
-	// identical because the pair set dedups, only the constant changes).
-	UseHalfNeighborhood bool
+	// UseFullNeighborhood enumerates all 26 neighbour cells per occupied
+	// cell, as the paper describes literally. The default scan enumerates
+	// the 13-cell half neighbourhood instead, visiting each adjacent cell
+	// pair once — results are identical because the pair set dedups, and
+	// the neighbour-lookup constant (the dominant scan cost) halves. The
+	// full enumeration is kept as the paper-fidelity ablation.
+	UseFullNeighborhood bool
 	// Filters configures the hybrid variant's orbital filter chain.
 	Filters filters.Config
 	// Executor selects the parallel backend: nil runs on a CPU worker pool
@@ -83,6 +86,17 @@ type Config struct {
 	// internally parallel). The memory planner (internal/model) supplies
 	// p for a given budget.
 	ParallelSteps int
+	// DisablePrefilter skips the analytic pre-refinement filter (refine.go)
+	// and sends every surviving candidate straight to Brent minimisation.
+	// The filter is sound (it only rejects pairs whose separation provably
+	// stays above threshold), so results are identical either way; the knob
+	// exists for ablations and the differential battery.
+	DisablePrefilter bool
+	// DisablePipeline forces the strictly sequential step loop even when
+	// the run could overlap step N's snapshot scan with step N+1's
+	// propagate/build (see sampleStepsPipelined). Results are identical;
+	// the knob exists for ablations and the differential battery.
+	DisablePipeline bool
 	// Uncertainty, when non-nil, screens each pair against the effective
 	// threshold d + u(a) + u(b) instead of the uniform d (§III: the
 	// threshold should cover the position uncertainties). The grid is
@@ -107,6 +121,12 @@ type Config struct {
 // chunks ranges across a goroutine pool ("a thread is responsible for
 // propagating and grid-inserting multiple tuples"); the gpusim backend maps
 // ranges onto simulated 512-thread blocks.
+//
+// Implementations must be safe for concurrent ParallelFor /
+// ParallelForWorkers calls from multiple goroutines: the pipelined step
+// loop overlaps one step's snapshot scan with the next step's propagate and
+// insert, each a separate parallel dispatch. Both in-tree executors are
+// stateless per call and satisfy this already.
 type Executor interface {
 	// ParallelFor partitions [0, n) into ranges and runs fn on them
 	// concurrently. fn must be safe for concurrent invocation on disjoint
@@ -198,25 +218,31 @@ type Conjunction struct {
 type PhaseStats struct {
 	Insertion   time.Duration // propagation + grid insertion (INS)
 	Freeze      time.Duration // grid compaction into the CSR scan snapshot (FRZ)
-	Detection   time.Duration // candidate generation + PCA/TCA refinement (CD)
+	Detection   time.Duration // candidate generation: snapshot scan + merge (CD)
+	Refine      time.Duration // PCA/TCA refinement: pre-filter + Brent (REF)
 	Coplanarity time.Duration // orbital filter classification (hybrid only)
 
-	Steps          int    // sampling steps processed
-	CandidatePairs int    // distinct (pair, step) candidates from the grid
-	DirtyObjects   int    // delta screens: size of the dirty set (0 on full screens)
-	PriorRetained  int    // delta screens: prior conjunctions carried over unrefined
-	FilterRejected int    // candidates dropped by the orbital filters (hybrid)
-	Refinements    int    // Brent searches performed
-	OutOfBounds    uint64 // satellite samples outside the simulation cube
-	GridSlots      int    // grid hash slot capacity
-	PairSlots      int    // final conjunction hash slot capacity
-	PairSetGrowths int    // times the conjunction hash set overflowed and doubled
-	FilterStats    filters.Stats
+	Steps             int    // sampling steps processed
+	CandidatePairs    int    // distinct (pair, step) candidates from the grid
+	DirtyObjects      int    // delta screens: size of the dirty set (0 on full screens)
+	PriorRetained     int    // delta screens: prior conjunctions carried over unrefined
+	FilterRejected    int    // candidates dropped by the orbital filters (hybrid)
+	PrefilterRejected int    // candidates rejected analytically before any Brent evaluation
+	Refinements       int    // Brent searches performed
+	RefineBatches     int    // warm-refiner satellite batches (first-satellite rebinds)
+	OutOfBounds       uint64 // satellite samples outside the simulation cube
+	GridSlots         int    // grid hash slot capacity
+	PairSlots         int    // final conjunction hash slot capacity
+	PairSetGrowths    int    // times the conjunction hash set overflowed and doubled
+	FilterStats       filters.Stats
 }
 
-// Total returns the accounted wall time of the phases.
+// Total returns the accounted wall time of the phases. Under the pipelined
+// step loop the detection share overlaps insertion wall time, so phase
+// *shares* remain the meaningful quantity (as in §V-C1), not their sum
+// against the wall clock.
 func (p PhaseStats) Total() time.Duration {
-	return p.Insertion + p.Freeze + p.Detection + p.Coplanarity
+	return p.Insertion + p.Freeze + p.Detection + p.Refine + p.Coplanarity
 }
 
 // Result is the outcome of a screening run.

@@ -222,11 +222,11 @@ func TestEngineeredPopulationAllVariantsAgree(t *testing.T) {
 
 func TestHalfNeighborhoodSameResults(t *testing.T) {
 	sats := engineeredPopulation(t)
-	full, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500}).Screen(sats)
+	full, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, UseFullNeighborhood: true}).Screen(sats)
 	if err != nil {
 		t.Fatal(err)
 	}
-	half, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500, UseHalfNeighborhood: true}).Screen(sats)
+	half, err := NewGrid(Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 1500}).Screen(sats)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -154,7 +154,7 @@ func degenerateDeltaMerge(delta *DeltaInput) []Conjunction {
 // cell can neighbour a dirty object — so the saving is the pair volume
 // (candidate keys, pair-set pressure, refinement), which is the O(N²) term.
 func (r *run) scanSnapshotDirty(sn *lockfree.GridSnapshot, lo, hi int, step uint32, buf []uint64, scratch *scanScratch) []uint64 {
-	half := r.cfg.UseHalfNeighborhood
+	half := !r.cfg.UseFullNeighborhood
 	dirty := r.dirty
 	for s := lo; s < hi; s++ {
 		key, cell := sn.SlotCell(s)

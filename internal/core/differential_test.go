@@ -2,8 +2,8 @@ package core
 
 // Cross-variant differential battery: the same seeded population screened
 // by every detector flavour — grid (single worker, batched, pooled warm,
-// pooling disabled), hybrid (sequential and batched), and two
-// alternative-index screeners built on the k-d tree and octree — must
+// pooling disabled, pre-filter off, pipelining off), hybrid (sequential and
+// batched), and two alternative-index screeners built on the k-d tree and octree — must
 // report the same physical encounters. Agreement is tolerance-aware: TCAs
 // within one (coarsest) sampling step, PCAs within threshold slack; exact
 // equality is not required because the variants sample at different rates
@@ -177,6 +177,18 @@ func TestVariantsDifferentialAgreement(t *testing.T) {
 				return nil, err
 			}
 			return det.Screen(sats)
+		},
+		"grid-prefilter-off": func() (*Result, error) {
+			// Ablation knob: with the analytic pre-filter disabled every
+			// candidate goes to Brent; the event set must not move.
+			return NewGrid(Config{ThresholdKm: threshold, SecondsPerSample: 1, DurationSeconds: span,
+				Workers: 2, DisablePrefilter: true}).Screen(sats)
+		},
+		"grid-no-pipeline": func() (*Result, error) {
+			// Ablation knob: the strictly sequential per-step loop instead of
+			// the two-slot pipelined stepper the Workers: 2 reference uses.
+			return NewGrid(Config{ThresholdKm: threshold, SecondsPerSample: 1, DurationSeconds: span,
+				Workers: 2, DisablePipeline: true}).Screen(sats)
 		},
 		"hybrid": func() (*Result, error) {
 			return NewHybrid(Config{ThresholdKm: threshold, DurationSeconds: span, Workers: 2}).Screen(sats)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -84,7 +85,7 @@ func (d *Grid) screen(ctx context.Context, sats []propagation.Satellite, delta *
 	if delta != nil {
 		conjs = run.mergeWithPrior(conjs, delta.Prior)
 	}
-	run.stats.Detection += time.Since(tRef)
+	run.stats.Refine += time.Since(tRef)
 	run.observePhase(PhaseRefine, time.Since(tRef), len(conjs))
 
 	res.Conjunctions = conjs
@@ -145,8 +146,13 @@ type run struct {
 	// so the loop instead publishes its step state here and reuses the same
 	// three closures for every step. The executor's fork/join provides the
 	// happens-before edge between these writes and the workers' reads.
+	// stepTime belongs to the build side (main step goroutine); scanStep,
+	// scanSnap, scanFull and the scan buffers belong to the scan side, which
+	// under the pipelined loop is a separate goroutine — the job/result
+	// channel handoff orders the two sides.
 	stepTime  float64
 	scanStep  uint32
+	scanSnap  *lockfree.GridSnapshot // frozen snapshot the current scan reads
 	scanFull  atomic.Bool
 	insertErr atomic.Value
 
@@ -327,14 +333,16 @@ func (r *run) observePhase(p Phase, elapsed time.Duration, conjunctions int) {
 	}
 	r.obsMu.Lock()
 	r.observer.OnPhase(PhaseInfo{
-		Phase:          p,
-		Elapsed:        elapsed,
-		GridSlots:      r.stats.GridSlots,
-		PairSlots:      r.pairs.Slots(),
-		Candidates:     cand,
-		FilterRejected: r.stats.FilterRejected,
-		Refinements:    r.stats.Refinements,
-		Conjunctions:   conjunctions,
+		Phase:             p,
+		Elapsed:           elapsed,
+		GridSlots:         r.stats.GridSlots,
+		PairSlots:         r.pairs.Slots(),
+		Candidates:        cand,
+		FilterRejected:    r.stats.FilterRejected,
+		PrefilterRejected: r.stats.PrefilterRejected,
+		Refinements:       r.stats.Refinements,
+		RefineBatches:     r.stats.RefineBatches,
+		Conjunctions:      conjunctions,
 	})
 	r.obsMu.Unlock()
 }
@@ -372,12 +380,16 @@ func (r *run) collectPairs() []lockfree.Pair {
 // sampleAllSteps runs step 2 for every sampling step: propagate, insert,
 // and identify candidate pairs into the conjunction set. With
 // Config.ParallelSteps > 1 whole steps run concurrently (see batch.go);
-// otherwise steps run sequentially with intra-step parallelism.
+// otherwise steps run in order — pipelined (step N's scan overlapping step
+// N+1's build, see pipeline.go) when the run has the workers for it,
+// strictly sequentially otherwise.
 func (r *run) sampleAllSteps() error {
 	tSample := time.Now()
 	var err error
 	if r.cfg.ParallelSteps > 1 {
 		err = r.sampleStepsBatched()
+	} else if r.pipelineEligible() {
+		err = r.sampleStepsPipelined()
 	} else {
 		err = r.sampleStepsSequential()
 	}
@@ -420,7 +432,7 @@ func (r *run) sampleStepsSequential() error {
 		r.stats.Freeze += time.Since(tFz)
 
 		tCD := time.Now()
-		if err := r.generateCandidates(uint32(step)); err != nil {
+		if err := r.generateCandidates(r.snap, uint32(step)); err != nil {
 			return err
 		}
 		r.stats.Detection += time.Since(tCD)
@@ -469,13 +481,15 @@ func (r *run) insertRange(lo, hi int) {
 // scanWorkerRange scans snapshot slots [lo, hi) for candidate pairs at the
 // published step, appending packed pair keys to worker w's private buffer.
 // No shared state is touched: the merge phase folds the buffers into the
-// pair set after the scan joins.
+// pair set after the scan joins. The snapshot comes from the published
+// scanSnap — under the pipelined loop that is one slot of the snapshot ring
+// while the build side freezes into the other.
 func (r *run) scanWorkerRange(w, lo, hi int) {
 	scratch := scanScratchPool.Get().(*scanScratch)
 	if r.dirty != nil {
-		r.scanBufs[w] = r.scanSnapshotDirty(r.snap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
+		r.scanBufs[w] = r.scanSnapshotDirty(r.scanSnap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
 	} else {
-		r.scanBufs[w] = r.scanSnapshot(r.snap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
+		r.scanBufs[w] = r.scanSnapshot(r.scanSnap, lo, hi, r.scanStep, r.scanBufs[w], scratch)
 	}
 	scanScratchPool.Put(scratch)
 }
@@ -513,12 +527,13 @@ func (r *run) insertAll() error {
 // folds those buffers into the pair set; on overflow the set grows and only
 // the merge re-runs (InsertPacked is idempotent, so re-merging buffers whose
 // keys partially landed is safe, and the scan output is still valid).
-func (r *run) generateCandidates(step uint32) error {
+func (r *run) generateCandidates(snap *lockfree.GridSnapshot, step uint32) error {
 	r.scanStep = step
+	r.scanSnap = snap
 	for w := range r.scanBufs {
 		r.scanBufs[w] = r.scanBufs[w][:0]
 	}
-	if err := r.exec.ParallelForWorkers(r.ctx, r.snap.Slots(), r.scanWFn); err != nil {
+	if err := r.exec.ParallelForWorkers(r.ctx, snap.Slots(), r.scanWFn); err != nil {
 		return err
 	}
 	for {
@@ -550,7 +565,7 @@ var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 // majority away from the cube faces) resolve their neighbour keys by pure
 // key arithmetic, skipping the unpack/clamp/repack of the boundary path.
 func (r *run) scanSnapshot(sn *lockfree.GridSnapshot, lo, hi int, step uint32, buf []uint64, scratch *scanScratch) []uint64 {
-	half := r.cfg.UseHalfNeighborhood
+	half := !r.cfg.UseFullNeighborhood
 	for s := lo; s < hi; s++ {
 		key, cell := sn.SlotCell(s)
 		if key == lockfree.EmptySlot || len(cell) == 0 {
@@ -592,7 +607,7 @@ func (r *run) scanSnapshot(sn *lockfree.GridSnapshot, lo, hi int, step uint32, b
 // the frozen CSR snapshot instead (scanSnapshot); this path is kept as the
 // equivalence oracle and the baseline of the linked-vs-CSR microbenchmark.
 func (r *run) scanSlotsLinked(gs *lockfree.GridSet, lo, hi int, step uint32, scratch *scanScratch) (overflow bool) {
-	half := r.cfg.UseHalfNeighborhood
+	half := !r.cfg.UseFullNeighborhood
 	for s := lo; s < hi; s++ {
 		key, head := gs.SlotKey(s)
 		if key == lockfree.EmptySlot || head < 0 {
@@ -657,19 +672,32 @@ func (r *run) growPairs() {
 }
 
 // refineCandidates runs the parallel PCA/TCA phase over the candidate list.
-// radiusOverride, when non-nil, supplies a per-pair custom interval
-// (the hybrid variant's node-window intervals); a nil entry or nil function
+// interval, when non-nil, supplies a per-pair custom search window (the
+// hybrid variant's node-window intervals); a nil function or a false ok
 // falls back to the grid rule. Confirmed conjunctions stream to the run's
 // sink (if any) as each worker chunk completes, under the same mutex that
 // merges them into the result — the Sink contract's serialisation point.
+//
+// The phase is batched by satellite: candidates are sorted by (A, B, Step)
+// so each worker chunk sees runs of identical satellites, which the
+// per-chunk pairEvaluator turns into warm-started Kepler solves instead of
+// cold contour solves. Before any Brent evaluation, the analytic pre-filter
+// (refine.go) rejects candidates whose separation provably stays above the
+// pair threshold over the whole interval; rejections are counted separately
+// from refinements. Workers re-check the run context every 16 candidates so
+// large refine phases abort promptly under cancellation.
 func (r *run) refineCandidates(pairs []lockfree.Pair, interval func(p lockfree.Pair) (center, radius float64, ok bool)) ([]Conjunction, error) {
+	sortPairsBySatellite(pairs)
 	var mu sync.Mutex
 	var all []Conjunction
-	var refinements atomic.Int64
+	var refinements, prefiltered, batches atomic.Int64
+	usePrefilter := !r.cfg.DisablePrefilter
 	perr := r.exec.ParallelFor(r.ctx, len(pairs), func(lo, hi int) {
+		ev := newPairEvaluator(r.prop)
+		f := ev.dist2Offset // hoisted: binding the method per pair would allocate
 		var out []Conjunction
 		for k := lo; k < hi; k++ {
-			if r.done != nil && (k-lo)&63 == 0 {
+			if r.done != nil && (k-lo)&15 == 0 {
 				select {
 				case <-r.done:
 					return
@@ -686,11 +714,29 @@ func (r *run) refineCandidates(pairs []lockfree.Pair, interval func(p lockfree.P
 					center, radius = c2, rad
 				}
 			}
+			if ev.bind(a, b) {
+				batches.Add(1)
+			}
+			ev.center = center
+			pa, va, pb, vb := ev.statesAt(center)
 			if radius <= 0 {
-				radius = intervalRadius(r.cellSize, a, b, r.prop, center)
+				// Grid rule (§IV-C): time for the slower satellite to cross
+				// two cells, from its speed at the sampling step — the same
+				// states the pre-filter consumes.
+				v := math.Min(va.Norm(), vb.Norm())
+				if v < 1e-9 {
+					v = 1e-9
+				}
+				radius = 2 * r.cellSize / v
+			}
+			threshold := r.pairThreshold(p.A, p.B)
+			oLo, oHi, loClamped, hiClamped := r.refiner.clampOffsets(center, radius)
+			if usePrefilter && prefilterReject(pa, va, pb, vb, oLo, oHi, ev.a.acc+ev.b.acc, threshold) {
+				prefiltered.Add(1)
+				continue
 			}
 			refinements.Add(1)
-			tca, pca, outcome := r.refiner.refineThreshold(a, b, center, radius, r.pairThreshold(p.A, p.B))
+			tca, pca, outcome := r.refiner.refineOffsets(f, center, oLo, oHi, loClamped, hiClamped, threshold)
 			if outcome == refineBelowThreshold {
 				out = append(out, Conjunction{A: min32(p.A, p.B), B: max32(p.A, p.B), Step: p.Step, TCA: tca, PCA: pca})
 			}
@@ -707,6 +753,8 @@ func (r *run) refineCandidates(pairs []lockfree.Pair, interval func(p lockfree.P
 		}
 	})
 	r.stats.Refinements += int(refinements.Load())
+	r.stats.PrefilterRejected += int(prefiltered.Load())
+	r.stats.RefineBatches += int(batches.Load())
 	if perr == nil {
 		perr = r.cancelled()
 	}
@@ -888,6 +936,21 @@ func max32(a, b int32) int32 {
 		return a
 	}
 	return b
+}
+
+// sortPairsBySatellite orders candidates by (A, B, Step) so refinements of
+// one satellite sit adjacent — the batching key the warm refiner exploits.
+// The candidate buffer is pooled and order-free, so sorting in place is safe.
+func sortPairsBySatellite(pairs []lockfree.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		if pairs[i].B != pairs[j].B {
+			return pairs[i].B < pairs[j].B
+		}
+		return pairs[i].Step < pairs[j].Step
+	})
 }
 
 // sortConjunctions orders by (A, B, TCA) for deterministic output.

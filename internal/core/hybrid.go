@@ -142,7 +142,7 @@ func (d *Hybrid) screen(ctx context.Context, sats []propagation.Satellite, delta
 	if delta != nil {
 		conjs = run.mergeWithPrior(conjs, delta.Prior)
 	}
-	run.stats.Detection += time.Since(tRef)
+	run.stats.Refine += time.Since(tRef)
 	run.observePhase(PhaseRefine, time.Since(tRef), len(conjs))
 
 	res.Conjunctions = conjs

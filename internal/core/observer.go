@@ -64,12 +64,14 @@ type PhaseInfo struct {
 	Phase   Phase
 	Elapsed time.Duration // wall time of the phase
 
-	GridSlots      int // grid hash slot capacity (known from PhaseAllocate on)
-	PairSlots      int // conjunction hash slot capacity
-	Candidates     int // distinct (pair, step) candidates (PhaseSample on)
-	FilterRejected int // candidates dropped by the filters (PhaseFilter)
-	Refinements    int // Brent searches performed (PhaseRefine)
-	Conjunctions   int // conjunctions confirmed (PhaseRefine)
+	GridSlots         int // grid hash slot capacity (known from PhaseAllocate on)
+	PairSlots         int // conjunction hash slot capacity
+	Candidates        int // distinct (pair, step) candidates (PhaseSample on)
+	FilterRejected    int // candidates dropped by the filters (PhaseFilter)
+	PrefilterRejected int // candidates rejected analytically before Brent (PhaseRefine)
+	Refinements       int // Brent searches performed (PhaseRefine)
+	RefineBatches     int // warm-refiner satellite batches (PhaseRefine)
+	Conjunctions      int // conjunctions confirmed (PhaseRefine)
 }
 
 // Observer receives pipeline progress while a run is in flight. Method

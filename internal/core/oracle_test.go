@@ -171,6 +171,328 @@ func TestDetectorsAgainstBruteForceOracle(t *testing.T) {
 	}
 }
 
+// randomOracleSat draws one satellite from three orbit classes — a LEO
+// shell, the GEO belt, and eccentric transfer-like orbits — so the refine
+// battery covers slow and fast geometry, near-circular and high-e solves.
+func randomOracleSat(rng *mathx.SplitMix64, id int32, class int) propagation.Satellite {
+	var el orbit.Elements
+	switch class {
+	case 0: // LEO shell
+		el = orbit.Elements{
+			SemiMajorAxis: rng.UniformRange(6800, 7400),
+			Eccentricity:  rng.UniformRange(0, 0.02),
+		}
+	case 1: // GEO belt
+		el = orbit.Elements{
+			SemiMajorAxis: rng.UniformRange(42064, 42264),
+			Eccentricity:  rng.UniformRange(0, 0.01),
+		}
+	default: // eccentric, GTO-like
+		rp := rng.UniformRange(6600, 8000)
+		ra := rng.UniformRange(12000, 40000)
+		el = orbit.Elements{
+			SemiMajorAxis: (rp + ra) / 2,
+			Eccentricity:  (ra - rp) / (ra + rp),
+		}
+	}
+	el.Inclination = rng.UniformRange(0.05, math.Pi-0.05)
+	el.RAAN = rng.UniformRange(0, mathx.TwoPi)
+	el.ArgPerigee = rng.UniformRange(0, mathx.TwoPi)
+	el.MeanAnomaly = rng.UniformRange(0, mathx.TwoPi)
+	return propagation.MustSatellite(id, el)
+}
+
+// TestRefineOracleBattery pins the batched warm refiner — pairEvaluator
+// feeding refineOffsets, warm-started Kepler solves shared across a run of
+// refinements on one pair — against two references, pair for pair:
+//
+//  1. the sequential cold refiner (refineThreshold, every propagation a cold
+//     contour solve): identical outcome, TCA and PCA on every interval; and
+//  2. a dense-sampling ground truth of the same interval: whenever the
+//     interval holds interior distance minima, the reported (TCA, PCA) must
+//     coincide with one of them.
+//
+// Randomised LEO/GEO/eccentric pairings with random centers, radii and
+// thresholds; four consecutive refinements per pair so the warm caches are
+// genuinely reused, not rebuilt per call.
+func TestRefineOracleBattery(t *testing.T) {
+	const span = 4000.0
+	prop := propagation.TwoBody{}
+	rng := mathx.NewSplitMix64(20260807)
+	ref := newRefiner(prop, 25, span)
+	ev := newPairEvaluator(prop)
+	f := ev.dist2Offset
+
+	const trials = 40
+	sats := make([]propagation.Satellite, 2*trials)
+	for i := 0; i < trials; i++ {
+		sats[2*i] = randomOracleSat(rng, int32(2*i), i%3)
+		sats[2*i+1] = randomOracleSat(rng, int32(2*i+1), rng.Intn(3))
+	}
+
+	agreed, discards, interiorPinned := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		a, b := &sats[2*i], &sats[2*i+1]
+
+		// Coarse scan of the pair's separation so half the intervals can be
+		// aimed at genuine minima — unaimed random intervals over unrelated
+		// orbits are monotone and exercise only the edge rule.
+		var coarseMins []float64
+		{
+			const cdt = 0.5
+			prev2, prev1 := math.Inf(1), math.Inf(1)
+			for tt := 0.0; tt <= span; tt += cdt {
+				pa, _ := prop.State(a, tt)
+				pb, _ := prop.State(b, tt)
+				cur := pa.Dist(pb)
+				if prev1 < prev2 && prev1 <= cur {
+					coarseMins = append(coarseMins, tt-cdt)
+				}
+				prev2, prev1 = prev1, cur
+			}
+		}
+
+		ev.bind(a, b)
+		for k := 0; k < 4; k++ {
+			radius := rng.UniformRange(5, 120)
+			threshold := rng.UniformRange(5, 50)
+			var center float64
+			if k%2 == 0 && len(coarseMins) > 0 {
+				// Aim at a known minimum, jittered within the interval.
+				center = coarseMins[rng.Intn(len(coarseMins))] + rng.UniformRange(-0.4, 0.4)*radius
+				center = math.Max(0, math.Min(span, center))
+			} else {
+				center = rng.UniformRange(0, span)
+			}
+
+			tcaC, pcaC, outC := ref.refineThreshold(a, b, center, radius, threshold)
+			lo, hi, loCl, hiCl := ref.clampOffsets(center, radius)
+			ev.center = center
+			tcaW, pcaW, outW := ref.refineOffsets(f, center, lo, hi, loCl, hiCl, threshold)
+
+			if outC != outW {
+				t.Errorf("pair %d interval %d: cold outcome %d vs warm %d (center %.1f radius %.1f)",
+					i, k, outC, outW, center, radius)
+				continue
+			}
+			agreed++
+			if outC == refineEdgeDiscard {
+				discards++
+				continue
+			}
+			if math.Abs(tcaC-tcaW) > 0.05 {
+				t.Errorf("pair %d interval %d: cold TCA %.6f vs warm %.6f", i, k, tcaC, tcaW)
+			}
+			if math.Abs(pcaC-pcaW) > 1e-5 {
+				t.Errorf("pair %d interval %d: cold PCA %.9f vs warm %.9f", i, k, pcaC, pcaW)
+			}
+
+			// Consistency: the reported PCA is the separation at the
+			// reported TCA (recomputed independently with cold propagation).
+			pa, _ := prop.State(a, tcaC)
+			pb, _ := prop.State(b, tcaC)
+			if d := pa.Dist(pb); math.Abs(d-pcaC) > 1e-6 {
+				t.Errorf("pair %d interval %d: PCA %.9f but separation at TCA is %.9f", i, k, pcaC, d)
+			}
+
+			// Dense-sampling ground truth: strict interior minima of the
+			// sampled separation over the interval. When any exist and the
+			// refiner's minimum is interior, it must be one of them.
+			const n = 1500
+			dt := (hi - lo) / n
+			d := make([]float64, n+1)
+			for s := 0; s <= n; s++ {
+				tt := center + lo + float64(s)*dt
+				qa, _ := prop.State(a, tt)
+				qb, _ := prop.State(b, tt)
+				d[s] = qa.Dist(qb)
+			}
+			interior := tcaC-(center+lo) > 1 && (center+hi)-tcaC > 1
+			if !interior {
+				continue
+			}
+			matched := false
+			for s := 1; s < n; s++ {
+				if d[s] < d[s-1] && d[s] <= d[s+1] {
+					if math.Abs(tcaC-(center+lo+float64(s)*dt)) <= 2*dt && math.Abs(pcaC-d[s]) <= 1e-2 {
+						matched = true
+						break
+					}
+				}
+			}
+			if !matched {
+				t.Errorf("pair %d interval %d: interior minimum (tca %.4f, pca %.6f) not found by dense sampling",
+					i, k, tcaC, pcaC)
+			} else {
+				interiorPinned++
+			}
+		}
+	}
+	t.Logf("battery: %d agreed, %d edge discards, %d interior minima pinned to ground truth",
+		agreed, discards, interiorPinned)
+	if interiorPinned < 20 {
+		t.Errorf("only %d interior minima pinned against the oracle; battery too weak", interiorPinned)
+	}
+}
+
+// TestPrefilterSoundnessAgainstDenseSampling is the pre-filter's oracle: a
+// candidate prefilterReject rejects must have a true minimum separation
+// above threshold over the whole interval — the bound's entire claim. Dense
+// sampling of every rejected interval verifies it; the test also requires
+// both verdicts to occur, so the battery exercises the bound's boundary.
+func TestPrefilterSoundnessAgainstDenseSampling(t *testing.T) {
+	const span = 4000.0
+	prop := propagation.TwoBody{}
+	rng := mathx.NewSplitMix64(777)
+	ref := newRefiner(prop, 10, span)
+
+	sats := make([]propagation.Satellite, 40)
+	for i := range sats {
+		sats[i] = randomOracleSat(rng, int32(i), i%3)
+	}
+	// Twin pairs: nearly identical orbits whose separation stays small, so
+	// the bound cannot clear the threshold — the kept branch must also run.
+	twins := make([]propagation.Satellite, 20)
+	for i := 0; i < len(twins); i += 2 {
+		el := sats[i].Elements
+		twins[i] = propagation.MustSatellite(int32(100+i), el)
+		el.SemiMajorAxis += rng.UniformRange(0.1, 2)
+		el.MeanAnomaly = mathx.NormalizeAngle(el.MeanAnomaly + rng.UniformRange(0, 3e-4))
+		twins[i+1] = propagation.MustSatellite(int32(101+i), el)
+	}
+
+	rejected, kept := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		var a, b *propagation.Satellite
+		if trial%5 == 4 {
+			i := 2 * rng.Intn(len(twins)/2)
+			a, b = &twins[i], &twins[i+1]
+		} else {
+			a = &sats[rng.Intn(len(sats))]
+			b = &sats[rng.Intn(len(sats))]
+		}
+		if a == b {
+			continue
+		}
+		center := rng.UniformRange(0, span)
+		radius := rng.UniformRange(5, 60)
+		threshold := rng.UniformRange(1, 10)
+		lo, hi, _, _ := ref.clampOffsets(center, radius)
+		pa, va := prop.State(a, center)
+		pb, vb := prop.State(b, center)
+		if !prefilterReject(pa, va, pb, vb, lo, hi, peakAccel(a)+peakAccel(b), threshold) {
+			kept++
+			continue
+		}
+		rejected++
+		const n = 2000
+		dt := (hi - lo) / n
+		minD := math.Inf(1)
+		for s := 0; s <= n; s++ {
+			tt := center + lo + float64(s)*dt
+			qa, _ := prop.State(a, tt)
+			qb, _ := prop.State(b, tt)
+			if d := qa.Dist(qb); d < minD {
+				minD = d
+			}
+		}
+		if minD <= threshold {
+			t.Errorf("trial %d: pre-filter rejected pair (%d,%d) but true separation dips to %.4f km <= threshold %.4f",
+				trial, a.ID, b.ID, minD, threshold)
+		}
+	}
+	t.Logf("prefilter soundness: %d rejected (all verified), %d kept", rejected, kept)
+	if rejected < 20 {
+		t.Errorf("only %d rejections; soundness battery too weak", rejected)
+	}
+	if kept < 5 {
+		t.Errorf("only %d kept; the bound never came close to the threshold", kept)
+	}
+}
+
+// TestRefineEdgeDiscardOwnedByNeighbouringInterval is the §IV-C edge rule's
+// property test: slide overlapping grid-style search intervals across the
+// span; every interval that discards its minimum as edge-owned must be
+// vindicated — each true (dense-sampled) distance minimum is re-found by
+// the neighbouring interval that holds it in its interior, so the discard
+// rule loses nothing.
+func TestRefineEdgeDiscardOwnedByNeighbouringInterval(t *testing.T) {
+	const span = 1500.0
+	elA := orbit.Elements{SemiMajorAxis: 7000, Eccentricity: 0.0005, Inclination: 0.3}
+	elB := orbit.Elements{SemiMajorAxis: 7000, Eccentricity: 0.0005, Inclination: 2.8}
+	elA.MeanAnomaly = mathx.NormalizeAngle(-elA.MeanMotion() * 777)
+	elB.MeanAnomaly = mathx.NormalizeAngle(-elB.MeanMotion() * 777)
+	a := propagation.MustSatellite(0, elA)
+	b := propagation.MustSatellite(1, elB)
+	prop := propagation.TwoBody{}
+	ref := newRefiner(prop, 2, span)
+
+	// Dense ground truth: all strict interior minima of the separation.
+	const dt = 0.02
+	var minima []float64
+	prev2, prev1 := math.Inf(1), math.Inf(1)
+	for tt := 0.0; tt <= span; tt += dt {
+		pa, _ := prop.State(&a, tt)
+		pb, _ := prop.State(&b, tt)
+		cur := pa.Dist(pb)
+		if prev1 < prev2 && prev1 <= cur {
+			minima = append(minima, tt-dt)
+		}
+		prev2, prev1 = prev1, cur
+	}
+	if len(minima) == 0 {
+		t.Fatal("no interior distance minima in the span; property test is vacuous")
+	}
+
+	const radius, stride = 30.0, 40.0
+	type accept struct{ tca float64 }
+	var accepts []accept
+	discards := 0
+	for c := 0.0; c <= span; c += stride {
+		tca, _, outcome := ref.refineThreshold(&a, &b, c, radius, 2)
+		if outcome == refineEdgeDiscard {
+			discards++
+			continue
+		}
+		accepts = append(accepts, accept{tca: tca})
+	}
+	if discards == 0 {
+		t.Error("no interval ever discarded an edge minimum; property test exercised nothing")
+	}
+
+	// Completeness: every true minimum is claimed by some interval.
+	for _, m := range minima {
+		found := false
+		for _, ac := range accepts {
+			if math.Abs(ac.tca-m) <= 0.5 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("dense minimum at t=%.2f was never re-found: the edge rule lost it", m)
+		}
+	}
+	// Soundness: every accepted minimum is a true minimum (or a span
+	// boundary, where clamped edges legitimately accept without a neighbour).
+	for _, ac := range accepts {
+		if ac.tca < radius || ac.tca > span-radius {
+			continue
+		}
+		found := false
+		for _, m := range minima {
+			if math.Abs(ac.tca-m) <= 0.5 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("accepted minimum at t=%.2f matches no dense minimum", ac.tca)
+		}
+	}
+	t.Logf("edge-discard property: %d minima, %d accepts, %d discards", len(minima), len(accepts), discards)
+}
+
 // TestGridFindsSubSampleEncounter checks the Eq. 1 guarantee directly: an
 // encounter whose below-threshold dip lasts far less than one sampling
 // step must still be caught, because the cell size covers the worst-case

@@ -4,7 +4,9 @@ import (
 	"math"
 
 	"repro/internal/brent"
+	"repro/internal/orbit"
 	"repro/internal/propagation"
+	"repro/internal/vec3"
 )
 
 // refiner performs the PCA/TCA determination of §IV-C: Brent minimisation
@@ -57,17 +59,12 @@ const (
 	refineEdgeDiscard                         // minimum beyond interval edge
 )
 
-// refineThreshold searches [tCenter − radius, tCenter + radius] (clamped to
-// the screening span) for the pair's local distance minimum and classifies
-// it against the given (possibly uncertainty-widened) threshold.
-//
-// The minimisation runs in offset coordinates dt = t − tCenter so that
-// Brent's relative abscissa tolerance stays absolute-time-scale independent:
-// at t ~ 10⁵ s a relative 1e-4 tolerance would otherwise be tens of seconds.
-func (r *refiner) refineThreshold(a, b *propagation.Satellite, tCenter, radius, threshold float64) (tca, pca float64, outcome refineOutcome) {
-	lo := -radius
-	hi := +radius
-	loClamped, hiClamped := false, false
+// clampOffsets converts a search radius around tCenter into the offset
+// interval [lo, hi] (dt = t − tCenter), clamped to the screening span
+// [0, span]. The clamped flags tell the edge rule which borders are real
+// span boundaries rather than interval seams.
+func (r *refiner) clampOffsets(tCenter, radius float64) (lo, hi float64, loClamped, hiClamped bool) {
+	lo, hi = -radius, +radius
 	if tCenter+lo < 0 {
 		lo, loClamped = -tCenter, true
 	}
@@ -77,8 +74,32 @@ func (r *refiner) refineThreshold(a, b *propagation.Satellite, tCenter, radius, 
 	if hi <= lo {
 		hi = lo + 1e-6
 	}
+	return lo, hi, loClamped, hiClamped
+}
 
+// refineThreshold searches [tCenter − radius, tCenter + radius] (clamped to
+// the screening span) for the pair's local distance minimum and classifies
+// it against the given (possibly uncertainty-widened) threshold.
+//
+// The minimisation runs in offset coordinates dt = t − tCenter so that
+// Brent's relative abscissa tolerance stays absolute-time-scale independent:
+// at t ~ 10⁵ s a relative 1e-4 tolerance would otherwise be tens of seconds.
+//
+// Every propagation here is a cold State call: this is the sequential
+// refiner the refine-oracle battery pins the batched warm path
+// (refineCandidates' pairEvaluator + refineOffsets) against.
+func (r *refiner) refineThreshold(a, b *propagation.Satellite, tCenter, radius, threshold float64) (tca, pca float64, outcome refineOutcome) {
+	lo, hi, loClamped, hiClamped := r.clampOffsets(tCenter, radius)
 	f := func(dt float64) float64 { return r.dist2At(a, b, tCenter+dt) }
+	return r.refineOffsets(f, tCenter, lo, hi, loClamped, hiClamped, threshold)
+}
+
+// refineOffsets is the structure-independent core of the §IV-C refinement:
+// Brent minimisation of a caller-supplied squared-distance function over the
+// clamped offset interval, followed by the interval-edge rule. The batched
+// refiner passes a pairEvaluator method here so consecutive refinements of
+// one satellite share warm-started Kepler solves.
+func (r *refiner) refineOffsets(f func(float64) float64, tCenter, lo, hi float64, loClamped, hiClamped bool, threshold float64) (tca, pca float64, outcome refineOutcome) {
 	res, _ := brent.Minimize(f, lo, hi, r.tolSec, 100)
 
 	// Interval-edge rule (§IV-C): a minimum at an interior interval border
@@ -108,4 +129,132 @@ func (r *refiner) refineThreshold(a, b *propagation.Satellite, tCenter, radius, 
 		return tCenter + res.X, pca, refineBelowThreshold
 	}
 	return tCenter + res.X, pca, refineAboveThreshold
+}
+
+// evalSat is one side of a pairEvaluator: the satellite plus its warm-start
+// state — the eccentric anomaly solved at tLast seeds the guess for the next
+// solve, so a run of refinements over the same satellite costs a couple of
+// Newton iterations per propagation instead of a cold contour solve (the
+// KeplerCache idea of the sampling loop, applied to the refine phase).
+type evalSat struct {
+	sat    *propagation.Satellite
+	acc    float64 // μ/r_p²: the orbit's peak gravitational acceleration, km/s²
+	ecc    float64 // eccentric anomaly at tLast
+	tLast  float64
+	warmed bool
+}
+
+// pairEvaluator computes squared pair separations for the batched refiner.
+// One evaluator lives per refine worker chunk; bind switches it between
+// pairs, preserving a side's warm cache when the satellite is unchanged —
+// which the (A, B, Step) candidate sort makes the common case.
+type pairEvaluator struct {
+	prop   propagation.Propagator
+	warm   propagation.WarmStarter // nil: always cold State calls
+	a, b   evalSat
+	center float64 // offset origin of dist2Offset, seconds
+}
+
+func newPairEvaluator(prop propagation.Propagator) *pairEvaluator {
+	ev := &pairEvaluator{prop: prop}
+	if w, ok := prop.(propagation.WarmStarter); ok {
+		ev.warm = w
+	}
+	return ev
+}
+
+// bind points the evaluator at a pair and reports whether satellite a was
+// rebound — the batch boundary the PhaseRefine counters expose.
+func (e *pairEvaluator) bind(a, b *propagation.Satellite) bool {
+	rebound := e.a.sat != a
+	if rebound {
+		e.a = evalSat{sat: a, acc: peakAccel(a)}
+	}
+	if e.b.sat != b {
+		e.b = evalSat{sat: b, acc: peakAccel(b)}
+	}
+	return rebound
+}
+
+// peakAccel bounds the gravitational acceleration anywhere on an orbit:
+// μ/r² is largest at perigee. It is the curvature constant of the
+// pre-filter's linearisation error bound.
+func peakAccel(s *propagation.Satellite) float64 {
+	rp := s.Elements.PerigeeRadius()
+	return orbit.MuEarth / (rp * rp)
+}
+
+// state propagates one side to t. A warm-capable propagator is seeded with
+// the cache's predicted eccentric anomaly (kepler.SolveFrom re-centres any
+// guess and falls back to the cold solver, so accuracy never depends on the
+// prediction quality); an explicitly configured solver keeps the cold path
+// inside StateWarm itself.
+func (e *pairEvaluator) state(s *evalSat, t float64) (pos, vel vec3.V) {
+	if e.warm == nil {
+		return e.prop.State(s.sat, t)
+	}
+	var guess float64
+	if s.warmed {
+		guess = s.ecc + s.sat.MeanMotion()*(t-s.tLast)
+	} else {
+		guess = s.sat.Elements.MeanAnomaly + s.sat.MeanMotion()*t // the e → 0 root
+	}
+	pos, vel, ecc := e.warm.StateWarm(s.sat, t, guess)
+	s.ecc, s.tLast, s.warmed = ecc, t, true
+	return pos, vel
+}
+
+// statesAt evaluates both sides at t — the interval rule and the pre-filter
+// consume the states, and the calls warm both caches for the Brent
+// evaluations that follow.
+func (e *pairEvaluator) statesAt(t float64) (pa, va, pb, vb vec3.V) {
+	pa, va = e.state(&e.a, t)
+	pb, vb = e.state(&e.b, t)
+	return pa, va, pb, vb
+}
+
+// dist2Offset is the minimisation objective: squared separation at
+// center + dt. Callers hoist the method value once per worker chunk —
+// binding it per pair would allocate.
+func (e *pairEvaluator) dist2Offset(dt float64) float64 {
+	t := e.center + dt
+	pa, _ := e.state(&e.a, t)
+	pb, _ := e.state(&e.b, t)
+	return pa.Dist2(pb)
+}
+
+// prefilterReject reports whether a pair's separation provably stays above
+// threshold over [tCenter+lo, tCenter+hi], judged from the states at tCenter
+// alone — the analytic minimum-distance pre-filter (after Rivero & Baù's
+// trajectory bounds) that spares most candidates any Brent evaluation.
+//
+// The relative motion is linearised at tCenter: d(dt) ≈ d₀ + w·dt with
+// d₀ = p_a − p_b, w = v_a − v_b. Each trajectory deviates from its tangent
+// line by at most ½·a_max·dt² (Taylor remainder with ‖r̈‖ = μ/r² ≤ μ/r_p²),
+// so the true separation obeys
+//
+//	d(dt) ≥ ‖d₀ + w·dt‖ − ½(a_A + a_B)·dt².
+//
+// Minimising the linear term over the interval (closed form, clamped) and
+// maximising the quadratic remainder at the wider interval end yields a
+// sound lower bound: a rejected candidate cannot have a true PCA below
+// threshold. The bound weakens quadratically with interval width — wide
+// hybrid node windows reject less often, but never wrongly.
+func prefilterReject(pa, va, pb, vb vec3.V, lo, hi, accSum, threshold float64) bool {
+	d0 := pa.Sub(pb)
+	w := va.Sub(vb)
+	w2 := w.Dot(w)
+	dtStar := 0.0
+	if w2 > 1e-18 {
+		dtStar = -d0.Dot(w) / w2
+		if dtStar < lo {
+			dtStar = lo
+		}
+		if dtStar > hi {
+			dtStar = hi
+		}
+	}
+	dlin := d0.Add(w.Scale(dtStar)).Norm()
+	worst := math.Max(lo*lo, hi*hi)
+	return dlin-0.5*accSum*worst > threshold
 }

@@ -23,7 +23,7 @@ func scanEquivalenceRun(t *testing.T, half bool, n int) *run {
 		SecondsPerSample:    1,
 		DurationSeconds:     30,
 		Workers:             2,
-		UseHalfNeighborhood: half,
+		UseFullNeighborhood: !half,
 	}
 	r, err := newRun(context.Background(), cfg, sats, cfg.SecondsPerSample)
 	if err != nil {

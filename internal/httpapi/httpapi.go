@@ -94,8 +94,12 @@ type ScreenResponse struct {
 	Conjunctions   []ConjunctionJSON `json:"conjunctions"`
 	UniquePairs    int               `json:"unique_pairs"`
 	CandidatePairs int               `json:"candidate_pairs"`
-	Refinements    int               `json:"refinements"`
-	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	// PrefilterRejected counts candidates the analytic minimum-distance
+	// pre-filter proved conjunction-free; Refinements counts the survivors
+	// that went to Brent minimisation.
+	PrefilterRejected int     `json:"prefilter_rejected"`
+	Refinements       int     `json:"refinements"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
 	// StoredRunID is set when the server persists runs: the ID to query
 	// this run's conjunctions back via GET /v1/conjunctions?run=….
 	StoredRunID uint64 `json:"stored_run_id,omitempty"`
@@ -282,14 +286,15 @@ func (h *Handler) screen(w http.ResponseWriter, r *http.Request) {
 		conjs = res.Events(req.EventTolSeconds)
 	}
 	out := ScreenResponse{
-		Variant:        string(res.Variant),
-		Backend:        res.Backend,
-		Objects:        len(sats),
-		Conjunctions:   make([]ConjunctionJSON, len(conjs)),
-		UniquePairs:    res.UniquePairs(),
-		CandidatePairs: res.Stats.CandidatePairs,
-		Refinements:    res.Stats.Refinements,
-		ElapsedSeconds: time.Since(start).Seconds(),
+		Variant:           string(res.Variant),
+		Backend:           res.Backend,
+		Objects:           len(sats),
+		Conjunctions:      make([]ConjunctionJSON, len(conjs)),
+		UniquePairs:       res.UniquePairs(),
+		CandidatePairs:    res.Stats.CandidatePairs,
+		PrefilterRejected: res.Stats.PrefilterRejected,
+		Refinements:       res.Stats.Refinements,
+		ElapsedSeconds:    time.Since(start).Seconds(),
 	}
 	for i, c := range conjs {
 		out.Conjunctions[i] = h.conjunctionJSON(c, req)

@@ -128,13 +128,14 @@ func (h *Handler) screenStream(w http.ResponseWriter, r *http.Request) {
 	}
 	h.runs.finish(entry, RunCompleted, len(res.Conjunctions), "")
 	summary := &ScreenResponse{
-		Variant:        string(res.Variant),
-		Backend:        res.Backend,
-		Objects:        len(sats),
-		UniquePairs:    res.UniquePairs(),
-		CandidatePairs: res.Stats.CandidatePairs,
-		Refinements:    res.Stats.Refinements,
-		ElapsedSeconds: time.Since(start).Seconds(),
+		Variant:           string(res.Variant),
+		Backend:           res.Backend,
+		Objects:           len(sats),
+		UniquePairs:       res.UniquePairs(),
+		CandidatePairs:    res.Stats.CandidatePairs,
+		PrefilterRejected: res.Stats.PrefilterRejected,
+		Refinements:       res.Stats.Refinements,
+		ElapsedSeconds:    time.Since(start).Seconds(),
 	}
 	sw.send(StreamEvent{Type: "result", RunID: runID, Result: summary})
 }

@@ -267,7 +267,16 @@ func SolveFrom(m, e, guess float64) float64 {
 		if math.Abs(f) < tol {
 			return mathx.NormalizeAngle(g)
 		}
-		g -= f / (1 - e*ce)
+		d := f / (1 - e*ce)
+		g -= d
+		// Accept the corrected iterate without a confirming evaluation when
+		// the quadratic remainder already guarantees convergence: Newton
+		// leaves f(g−d) ≈ (f″/2)·d² with |f″| = e·|sin g| ≤ e, so the next
+		// residual is bounded by (e/2)·d². Skipping the verify saves one
+		// sincos per solve — the dominant cost of a warm solve.
+		if 0.5*e*d*d < tol {
+			return mathx.NormalizeAngle(g)
+		}
 	}
 	if Residual(g, mn, e) < 1e-12 {
 		return mathx.NormalizeAngle(g)

@@ -37,6 +37,10 @@ type Satellite struct {
 	slr        float64 // semi-latus rectum p, km
 	ecc        float64 // eccentricity copy for cache locality
 	vFac       float64 // √(μ/p), km/s
+	sma        float64 // semi-major axis a, km
+	smb        float64 // semi-minor axis b = a·√(1−e²), km
+	velP       float64 // n·a², km²/s (P̂ velocity numerator)
+	velQ       float64 // n·a·b, km²/s (Q̂ velocity numerator)
 	basisP     vec3.V  // perifocal P̂ in ECI
 	basisQ     vec3.V  // perifocal Q̂ in ECI
 }
@@ -72,6 +76,10 @@ func (s *Satellite) Precompute() {
 	s.slr = el.SemiLatusRectum()
 	s.ecc = el.Eccentricity
 	s.vFac = math.Sqrt(orbit.MuEarth / s.slr)
+	s.sma = el.SemiMajorAxis
+	s.smb = el.SemiMajorAxis * math.Sqrt(1-el.Eccentricity*el.Eccentricity)
+	s.velP = s.meanMotion * s.sma * s.sma
+	s.velQ = s.meanMotion * s.sma * s.smb
 	s.basisP, s.basisQ = el.Basis()
 }
 
@@ -136,8 +144,7 @@ func (p TwoBody) State(s *Satellite, t float64) (pos, vel vec3.V) {
 	}
 	m := s.Elements.MeanAnomaly + s.meanMotion*t
 	ecc := solver.Solve(m, s.ecc)
-	f := s.Elements.TrueFromEccentric(ecc)
-	return stateFromTrue(s, f, s.basisP, s.basisQ)
+	return stateFromEccentric(s, ecc)
 }
 
 // StateWarm implements WarmStarter. An explicitly configured Solver wins
@@ -150,9 +157,39 @@ func (p TwoBody) StateWarm(s *Satellite, t, guess float64) (pos, vel vec3.V, ecc
 	} else {
 		ecc = kepler.SolveFrom(m, s.ecc, guess)
 	}
-	f := s.Elements.TrueFromEccentric(ecc)
-	pos, vel = stateFromTrue(s, f, s.basisP, s.basisQ)
+	pos, vel = stateFromEccentric(s, ecc)
 	return pos, vel, ecc
+}
+
+// stateFromEccentric evaluates the conic directly at eccentric anomaly E
+// using the cached perifocal basis:
+//
+//	r⃗ = a(cos E − e)·P̂ + b·sin E·Q̂          b = a√(1−e²)
+//	v⃗ = (n·a/(1 − e·cos E))·(−a·sin E·P̂ + b·cos E·Q̂)
+//
+// Working in E skips the conversion to true anomaly entirely — no atan2, no
+// second sincos — which matters because this sits inside the per-satellite
+// per-step propagation loop. Algebraically identical to stateFromTrue (both
+// are the standard conic parameterisations); they differ only in roundoff.
+func stateFromEccentric(s *Satellite, ecc float64) (pos, vel vec3.V) {
+	se, ce := math.Sincos(ecc)
+	rp := s.sma * (ce - s.ecc) // position component along P̂
+	rq := s.smb * se           // position component along Q̂
+	inv := 1 / (s.sma * (1 - s.ecc*ce))
+	vp := -s.velP * se * inv
+	vq := s.velQ * ce * inv
+	bp, bq := s.basisP, s.basisQ
+	pos = vec3.V{
+		X: rp*bp.X + rq*bq.X,
+		Y: rp*bp.Y + rq*bq.Y,
+		Z: rp*bp.Z + rq*bq.Z,
+	}
+	vel = vec3.V{
+		X: vp*bp.X + vq*bq.X,
+		Y: vp*bp.Y + vq*bq.Y,
+		Z: vp*bp.Z + vq*bq.Z,
+	}
+	return pos, vel
 }
 
 // stateFromTrue evaluates the conic at true anomaly f with basis (bp, bq).
