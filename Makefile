@@ -16,10 +16,13 @@ test:
 ## lint: go vet plus the repo's own eight-analyzer suite (cmd/vetconj):
 ## the AST-pattern checks of DESIGN.md §7 and the flow-sensitive
 ## poolbalance/frozenwrite/sinklock checks of DESIGN.md §12. Opt-outs are
-## //lint:<analyzer>-ok with a justification on the same line.
+## //lint:<analyzer>-ok with a justification on the same line. The
+## registry guard keeps variant dispatch derived from core.Variants()
+## everywhere outside internal/core (DESIGN.md §14).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/vetconj ./...
+	scripts/check_variant_registry.sh
 
 ## race: race-detector pass over the lock-free hot paths and the
 ## concurrent grid/batch workers that drive them.

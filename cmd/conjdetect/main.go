@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -27,7 +28,7 @@ func main() {
 		tleFile   = flag.String("tle", "", "TLE catalogue to screen (otherwise a synthetic population is generated)")
 		n         = flag.Int("n", 2000, "synthetic population size when no -tle is given")
 		seed      = flag.Uint64("seed", 1, "synthetic population seed")
-		variant   = flag.String("variant", "hybrid", "screening variant: grid | hybrid | legacy")
+		variant   = flag.String("variant", "hybrid", "screening variant: "+strings.Join(satconj.VariantNames(), " | "))
 		threshold = flag.Float64("threshold", 2, "screening threshold d (km)")
 		duration  = flag.Float64("duration", 3600, "screening span (seconds)")
 		sps       = flag.Float64("sps", 0, "seconds per sample (0 = variant default)")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	satconj "repro"
 	"repro/internal/gpusim"
+	"repro/internal/mathx"
 	"repro/internal/model"
 	"repro/internal/population"
 	"repro/internal/propagation"
@@ -245,51 +247,49 @@ func screenTimed(ctx *benchCtx, sats []satconj.Satellite, o satconj.Options) (*s
 	return res, elapsed, nil
 }
 
+// fig10Variants builds the sweep's (variant, backend) runs from the
+// detector registry: the O(n²) baselines first (bare names, capped at
+// legacyCap objects), then every other registered variant on the CPU pool
+// and — when its descriptor advertises the device capability — on the
+// simulated GPU. A newly registered detector joins every fig10 sweep with
+// no edits here.
 func fig10Variants(ctx *benchCtx, includeLegacy bool, legacyCap int) []variantRun {
 	base := satconj.Options{ThresholdKm: ctx.threshold, DurationSeconds: ctx.duration}
-	vs := []variantRun{
-		{"grid-cpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
-			o := base
-			o.Variant = satconj.VariantGrid
-			return screenTimed(ctx, s, o)
-		}},
-		{"hybrid-cpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
-			o := base
-			o.Variant = satconj.VariantHybrid
-			return screenTimed(ctx, s, o)
-		}},
-		{"grid-sim-gpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
-			o := base
-			o.Variant = satconj.VariantGrid
-			o.Device = satconj.SimulatedRTX3090()
-			return screenTimed(ctx, s, o)
-		}},
-		{"hybrid-sim-gpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
-			o := base
-			o.Variant = satconj.VariantHybrid
-			o.Device = satconj.SimulatedRTX3090()
-			return screenTimed(ctx, s, o)
-		}},
-	}
+	var vs []variantRun
 	if includeLegacy {
-		vs = append([]variantRun{
-			{"legacy", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
+		for _, d := range satconj.Variants() {
+			if !d.Baseline {
+				continue
+			}
+			name := d.Name
+			vs = append(vs, variantRun{string(name), func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
 				if len(s) > legacyCap {
 					return nil, 0, errSkip
 				}
 				o := base
-				o.Variant = satconj.VariantLegacy
+				o.Variant = name
 				return screenTimed(ctx, s, o)
-			}},
-			{"sieve", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
-				if len(s) > legacyCap {
-					return nil, 0, errSkip
-				}
+			}})
+		}
+	}
+	for _, d := range satconj.Variants() {
+		if d.Baseline {
+			continue
+		}
+		name := d.Name
+		vs = append(vs, variantRun{string(name) + "-cpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
+			o := base
+			o.Variant = name
+			return screenTimed(ctx, s, o)
+		}})
+		if d.Caps.Has(satconj.CapDevice) {
+			vs = append(vs, variantRun{string(name) + "-sim-gpu", func(s []satconj.Satellite) (*satconj.Result, time.Duration, error) {
 				o := base
-				o.Variant = satconj.VariantSieve
+				o.Variant = name
+				o.Device = satconj.SimulatedRTX3090()
 				return screenTimed(ctx, s, o)
-			}},
-		}, vs...)
+			}})
+		}
 	}
 	return vs
 }
@@ -623,11 +623,14 @@ func runAccuracy(ctx *benchCtx) error {
 		res   *satconj.Result
 		pairs map[[2]int32]bool
 	}
-	variants := []satconj.Variant{satconj.VariantLegacy, satconj.VariantSieve, satconj.VariantGrid, satconj.VariantHybrid}
+	// Every registered variant joins the agreement table automatically; the
+	// legacy baseline — the paper's accuracy reference — anchors the
+	// missing/extra columns.
 	var outs []outcome
-	for _, v := range variants {
+	legacyPairs := map[[2]int32]bool{}
+	for _, d := range satconj.Variants() {
 		res, elapsed, err := screenTimed(ctx, sats, satconj.Options{
-			Variant: v, ThresholdKm: threshold, DurationSeconds: duration,
+			Variant: d.Name, ThresholdKm: threshold, DurationSeconds: duration,
 		})
 		if err != nil {
 			return err
@@ -636,13 +639,15 @@ func runAccuracy(ctx *benchCtx) error {
 		for _, c := range res.Conjunctions {
 			pairs[[2]int32{c.A, c.B}] = true
 		}
-		outs = append(outs, outcome{string(v), res, pairs})
-		fmt.Printf("  %-8s %8.3fs\n", v, elapsed.Seconds())
+		outs = append(outs, outcome{string(d.Name), res, pairs})
+		if d.Name == satconj.VariantLegacy {
+			legacyPairs = pairs
+		}
+		fmt.Printf("  %-8s %8.3fs\n", d.Name, elapsed.Seconds())
 	}
 	fmt.Println()
 
 	t := report.NewTable("", "Variant", "Conjunctions", "Events (merged)", "Unique pairs", "Missing vs legacy", "Extra vs legacy")
-	legacyPairs := outs[0].pairs
 	for _, o := range outs {
 		missing, extra := 0, 0
 		for p := range legacyPairs {
@@ -663,5 +668,168 @@ func runAccuracy(ctx *benchCtx) error {
 	fmt.Println("\nPaper reference at 64k: legacy 17,184 conjunctions; grid 17,264 (5 pairs missed,")
 	fmt.Println("35 extra); hybrid 17,242 (0 missed, 30 extra). Expected shape: near-total pair")
 	fmt.Println("agreement, small extras from duplicate multi-step detections near the threshold.")
+	return nil
+}
+
+// ---------------------------------------------------------------- treecmp
+
+// treecmpDebris builds a fragmentation-style population: a handful of
+// breakup clouds, each a few hundred objects jittered around one parent
+// orbit. The clouds are dense enough that every satellite's 16-step
+// position-time box overlaps a large fraction of its cloud-mates — the
+// regime where the AABB tree's window-hull candidates blow up while the
+// per-step grid stays proportional to genuinely close pairs.
+func treecmpDebris(n int, seed uint64) ([]satconj.Satellite, error) {
+	rng := mathx.NewSplitMix64(seed)
+	const clouds = 6
+	members := (n + clouds - 1) / clouds
+	sats := make([]satconj.Satellite, 0, n)
+	for len(sats) < n {
+		base := satconj.Elements{
+			SemiMajorAxis: rng.UniformRange(6900, 7400),
+			Eccentricity:  rng.UniformRange(0, 0.01),
+			Inclination:   rng.UniformRange(0.6, 1.8),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		}
+		for k := 0; k < members && len(sats) < n; k++ {
+			el := base
+			el.SemiMajorAxis += rng.UniformRange(-20, 20)
+			el.Inclination += rng.UniformRange(-0.004, 0.004)
+			el.RAAN += rng.UniformRange(-0.004, 0.004)
+			el.MeanAnomaly += rng.UniformRange(-0.01, 0.01)
+			s, err := satconj.NewSatellite(int32(len(sats)), el)
+			if err != nil {
+				return nil, err
+			}
+			sats = append(sats, s)
+		}
+	}
+	return sats, nil
+}
+
+// treecmpDeepSpace spreads n objects thinly between MEO and beyond GEO.
+// Box hulls almost never overlap here, so one tree build per window
+// replaces hundreds of per-step grid reset/insert/freeze/scan rounds with
+// near-zero candidate work — the tree's best case.
+func treecmpDeepSpace(n int, seed uint64) ([]satconj.Satellite, error) {
+	rng := mathx.NewSplitMix64(seed)
+	sats := make([]satconj.Satellite, 0, n)
+	for len(sats) < n {
+		a := rng.UniformRange(20000, 45000)
+		el := satconj.Elements{
+			SemiMajorAxis: a,
+			Eccentricity:  rng.UniformRange(0, math.Min(0.2, 1-8000/a)),
+			Inclination:   rng.UniformRange(0, 1.2),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		}
+		s, err := satconj.NewSatellite(int32(len(sats)), el)
+		if err != nil {
+			return nil, err
+		}
+		sats = append(sats, s)
+	}
+	return sats, nil
+}
+
+// treecmpEccentric builds Molniya-style high-eccentricity orbits: LEO
+// perigees, MEO-to-GEO apogees. The population sweeps a huge volume, so
+// per-step grid occupancy is wasted on mostly-empty space while window
+// hulls still rarely intersect.
+func treecmpEccentric(n int, seed uint64) ([]satconj.Satellite, error) {
+	rng := mathx.NewSplitMix64(seed)
+	sats := make([]satconj.Satellite, 0, n)
+	for len(sats) < n {
+		rp := rng.UniformRange(6800, 7400)
+		ra := rng.UniformRange(20000, 46000)
+		el := satconj.Elements{
+			SemiMajorAxis: (rp + ra) / 2,
+			Eccentricity:  (ra - rp) / (ra + rp),
+			Inclination:   rng.UniformRange(0.9, 1.3),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		}
+		s, err := satconj.NewSatellite(int32(len(sats)), el)
+		if err != nil {
+			return nil, err
+		}
+		sats = append(sats, s)
+	}
+	return sats, nil
+}
+
+// runTreecmp races the AABB-tree variant against the grid family on three
+// populations chosen to stress opposite ends of the design space (these
+// three variants ARE the experiment's subject; sweeps that should follow
+// the registry are fig10*/accuracy). Population sizes are deliberately
+// distinct from the fig10 sweep sizes so -benchjson records keep unique
+// (variant, backend, objects) keys for the -compare regression gate.
+func runTreecmp(ctx *benchCtx) error {
+	duration := ctx.durationOr(600)
+	threshold := ctx.thresholdOr(2)
+	scale := 1
+	if ctx.full {
+		scale = 4
+	}
+	type popCase struct {
+		name string
+		sats []satconj.Satellite
+	}
+	debris, err := treecmpDebris(3000*scale, ctx.seed)
+	if err != nil {
+		return err
+	}
+	deep, err := treecmpDeepSpace(5000*scale, ctx.seed+1)
+	if err != nil {
+		return err
+	}
+	ecc, err := treecmpEccentric(6000*scale, ctx.seed+2)
+	if err != nil {
+		return err
+	}
+	pops := []popCase{
+		{"debris-clouds", debris},
+		{"sparse-deep-space", deep},
+		{"eccentric-molniya", ecc},
+	}
+	variants := []satconj.Variant{satconj.VariantGrid, satconj.VariantHybrid, satconj.VariantAABB}
+
+	fmt.Printf("span %.0f s, threshold %.1f km\n\n", duration, threshold)
+	t := report.NewTable("", "Population", "Objects", "Variant", "Wall [s]", "Candidates", "Conjunctions")
+	var verdicts []string
+	for _, p := range pops {
+		walls := map[satconj.Variant]float64{}
+		for _, v := range variants {
+			res, elapsed, err := screenTimed(ctx, p.sats, satconj.Options{
+				Variant: v, ThresholdKm: threshold, DurationSeconds: duration,
+			})
+			if err != nil {
+				return err
+			}
+			walls[v] = elapsed.Seconds()
+			t.AddRow(p.name, len(p.sats), string(v), fmt.Sprintf("%.3f", elapsed.Seconds()),
+				res.Stats.CandidatePairs, len(res.Conjunctions))
+		}
+		winner := satconj.VariantGrid
+		if walls[satconj.VariantAABB] < walls[satconj.VariantGrid] {
+			winner = satconj.VariantAABB
+		}
+		verdicts = append(verdicts, fmt.Sprintf("  %-18s %-6s wins (grid %.3fs vs aabb %.3fs)",
+			p.name, winner, walls[satconj.VariantGrid], walls[satconj.VariantAABB]))
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, v := range verdicts {
+		fmt.Println(v)
+	}
+	fmt.Println("\nExpected shape: the per-step grid wins inside dense debris clouds (window")
+	fmt.Println("hulls overlap most cloud-mates), the windowed tree wins on sparse and")
+	fmt.Println("eccentric populations (one build per window, near-empty overlap sets).")
 	return nil
 }

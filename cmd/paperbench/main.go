@@ -53,6 +53,7 @@ var experiments = []experiment{
 	{"threads", "§V-C2 — CPU thread-count speedup", runThreads},
 	{"tdp", "§V-C3 — CPU/GPU energy comparison (TDP model)", runTDP},
 	{"accuracy", "§V-D — accuracy: conjunction counts and pair agreement", runAccuracy},
+	{"treecmp", "4D AABB tree vs grid family — head-to-head on contrasting populations", runTreecmp},
 	{"cube", "§II ablation — Cube-method statistical baseline vs deterministic screening", runCube},
 }
 

@@ -1,7 +1,9 @@
 package satconj
 
-// Four-variant cross-validation on a seeded random population: the
-// repository's top-level integration test. All deterministic variants must
+// Registry-wide cross-validation on a seeded random population: the
+// repository's top-level integration test. Every registered variant is
+// screened (the sweep enumerates Variants(), so a newly registered
+// detector joins automatically) and all deterministic variants must
 // agree on the set of conjunction pairs (the §V-D experiment as an
 // always-on test).
 
@@ -27,8 +29,9 @@ func TestAllVariantsAgreeOnRandomPopulation(t *testing.T) {
 		events []Conjunction
 		pairs  map[[2]int32]Conjunction
 	}
-	var outs []variantEvents
-	for _, v := range []Variant{VariantLegacy, VariantSieve, VariantGrid, VariantHybrid} {
+	outs := map[Variant]variantEvents{}
+	for _, d := range Variants() {
+		v := d.Name
 		res, err := Screen(sats, Options{Variant: v, ThresholdKm: threshold, DurationSeconds: span})
 		if err != nil {
 			t.Fatalf("%s: %v", v, err)
@@ -41,18 +44,24 @@ func TestAllVariantsAgreeOnRandomPopulation(t *testing.T) {
 				ve.pairs[key] = c
 			}
 		}
-		outs = append(outs, ve)
+		outs[v] = ve
 		t.Logf("%-7s %d events, %d pairs", v, len(ve.events), len(ve.pairs))
 	}
-	if len(outs[0].pairs) == 0 {
+	ref, ok := outs[VariantGrid]
+	if !ok {
+		t.Fatal("grid variant missing from registry")
+	}
+	if len(ref.pairs) == 0 {
 		t.Fatal("population produced no events; test is vacuous")
 	}
 
-	// The spatial variants and the sieve must agree exactly with each
-	// other; legacy may miss borderline events (its window scan is the
+	// Every variant except legacy must agree exactly with the grid on the
+	// pair set; legacy may miss borderline events (its window scan is the
 	// coarsest) but must never report something the others lack.
-	ref := outs[2]                                        // grid
-	for _, o := range []variantEvents{outs[1], outs[3]} { // sieve, hybrid
+	for v, o := range outs {
+		if v == VariantGrid || v == VariantLegacy {
+			continue
+		}
 		if len(o.pairs) != len(ref.pairs) {
 			t.Errorf("%s found %d pairs, grid found %d", o.v, len(o.pairs), len(ref.pairs))
 		}
@@ -70,7 +79,7 @@ func TestAllVariantsAgreeOnRandomPopulation(t *testing.T) {
 			}
 		}
 	}
-	legacy := outs[0]
+	legacy := outs[VariantLegacy]
 	for key := range legacy.pairs {
 		if _, ok := ref.pairs[key]; !ok {
 			t.Errorf("legacy reported pair %v that the grid lacks", key)

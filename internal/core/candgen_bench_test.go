@@ -29,7 +29,7 @@ func candgenRun(b *testing.B) *run {
 	b.Helper()
 	sats := benchShellPopulation(b, candgenObjects)
 	cfg := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 60, Workers: 1}
-	r, err := newRun(context.Background(), cfg, sats, cfg.SecondsPerSample)
+	r, err := newRun(context.Background(), cfg, sats, cfg.SecondsPerSample, true)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -86,6 +86,11 @@ type Config struct {
 	// internally parallel). The memory planner (internal/model) supplies
 	// p for a given budget.
 	ParallelSteps int
+	// WindowSteps is the AABB-tree variant's window width W: one set of
+	// position-time boxes (and one tree build) covers W consecutive
+	// sampling steps. ≤0 selects DefaultWindowSteps. Other variants
+	// ignore it.
+	WindowSteps int
 	// DisablePrefilter skips the analytic pre-refinement filter (refine.go)
 	// and sends every surviving candidate straight to Brent minimisation.
 	// The filter is sound (it only rejects pairs whose separation provably

@@ -127,6 +127,12 @@ func TestScreenDeltaMatchesFullScreen(t *testing.T) {
 		{"hybrid", func(p *pool.Pool) deltaScreener {
 			return NewHybrid(Config{DurationSeconds: span, HalfExtentKm: 9000, Workers: 4, Pool: p})
 		}},
+		{"aabb", func(p *pool.Pool) deltaScreener {
+			return NewAABB(Config{DurationSeconds: span, Workers: 4, Pool: p})
+		}},
+		{"aabb-short-window", func(p *pool.Pool) deltaScreener {
+			return NewAABB(Config{DurationSeconds: span, Workers: 4, WindowSteps: 3, Pool: p})
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -10,6 +10,7 @@ package core
 // and flag candidates at different steps.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -214,6 +215,24 @@ func TestVariantsDifferentialAgreement(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertEventsAgree(t, name, res.Events(10), reference, tcaTol, pcaTol)
+		})
+	}
+	// Registry sweep: every detector registered in this test binary (grid,
+	// hybrid, aabb — the out-of-package baselines are covered by the external
+	// battery in registry_battery_test.go) is pinned automatically, so a new
+	// registration joins the battery with zero test edits.
+	for _, d := range Variants() {
+		d := d
+		t.Run("registry-"+string(d.Name), func(t *testing.T) {
+			det := d.New(Config{ThresholdKm: threshold, DurationSeconds: span, Workers: 2})
+			res, err := det.ScreenContext(context.Background(), sats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Variant != d.Name {
+				t.Errorf("result variant %q, want %q", res.Variant, d.Name)
+			}
+			assertEventsAgree(t, string(d.Name), res.Events(10), reference, tcaTol, pcaTol)
 		})
 	}
 	if out := warmPool.Stats().Outstanding(); out != 0 {

@@ -25,6 +25,14 @@ type Grid struct {
 // NewGrid returns a grid-based detector with the given configuration.
 func NewGrid(cfg Config) *Grid { return &Grid{cfg: cfg} }
 
+func init() {
+	Register(VariantGrid, Descriptor{
+		Description: "purely grid-based screening: fine sampling, Eq. 1 cells, every candidate refined (§III)",
+		Caps:        CapScreenDelta | CapDevice | CapSink | CapObserver,
+		New:         func(cfg Config) Detector { return NewGrid(cfg) },
+	})
+}
+
 // DefaultGridSeconds is the grid variant's default sampling step.
 const DefaultGridSeconds = 1.0
 
@@ -50,7 +58,7 @@ func (d *Grid) screen(ctx context.Context, sats []propagation.Satellite, delta *
 	if sps <= 0 {
 		sps = DefaultGridSeconds
 	}
-	run, err := newRun(ctx, cfg, sats, sps)
+	run, err := newRun(ctx, cfg, sats, sps, true)
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +168,10 @@ type run struct {
 	insertFn    func(lo, hi int)
 	scanWFn     func(w, lo, hi int)
 	mergeFn     func(lo, hi int)
+
+	// win is the AABB-tree detector's per-window state (aabb.go); nil for
+	// the grid/hybrid detectors.
+	win *aabbWindow
 }
 
 // satelliteUploadBytes approximates one satellite's device footprint: the
@@ -169,8 +181,11 @@ const satelliteUploadBytes = 120
 // newRun validates inputs and allocates every structure up front — the
 // paper's step 1. A nil run (with nil error) signals a trivially empty
 // population. A context already cancelled on entry aborts before sampling,
-// with the pooled structures returned.
-func newRun(ctx context.Context, cfg Config, sats []propagation.Satellite, sps float64) (*run, error) {
+// with the pooled structures returned. withGrid allocates the spatial grid,
+// the grid set and the freeze snapshot; the AABB-tree detector passes false
+// and builds its bounding-volume hierarchy instead, sharing everything else
+// (validation, pair set, per-worker scan buffers, warm caches, refiner).
+func newRun(ctx context.Context, cfg Config, sats []propagation.Satellite, sps float64, withGrid bool) (*run, error) {
 	tAlloc := time.Now()
 	if cfg.DurationSeconds <= 0 {
 		return nil, ErrNoDuration
@@ -198,14 +213,18 @@ func newRun(ctx context.Context, cfg Config, sats []propagation.Satellite, sps f
 		gridThreshold += 2 * maxU
 	}
 	cellSize := spatial.CellSize(gridThreshold, sps)
-	halfExtent := cfg.HalfExtentKm
-	if halfExtent <= 0 {
-		halfExtent = autoHalfExtent(sats, cellSize)
-	}
-	grid, err := spatial.NewGrid(cellSize, halfExtent)
-	if err != nil {
-		pl.PutIDIndex(idx)
-		return nil, fmt.Errorf("core: %w", err)
+	var grid *spatial.Grid
+	if withGrid {
+		halfExtent := cfg.HalfExtentKm
+		if halfExtent <= 0 {
+			halfExtent = autoHalfExtent(sats, cellSize)
+		}
+		var err error
+		grid, err = spatial.NewGrid(cellSize, halfExtent)
+		if err != nil {
+			pl.PutIDIndex(idx)
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	slotFactor := cfg.GridSlotFactor
 	if slotFactor <= 0 {
@@ -233,7 +252,6 @@ func newRun(ctx context.Context, cfg Config, sats []propagation.Satellite, sps f
 		threshold:   threshold,
 		cellSize:    cellSize,
 		grid:        grid,
-		gset:        pl.GetGridSet(int(slotFactor*float64(len(sats))), len(sats)),
 		pairs:       pl.GetPairSet(pairHint),
 		states:      pl.GetStates(len(sats)),
 		workers:     exec.Workers(),
@@ -251,10 +269,13 @@ func newRun(ctx context.Context, cfg Config, sats []propagation.Satellite, sps f
 	r.scanWFn = r.scanWorkerRange
 	r.mergeFn = r.mergeRange
 	r.refiner = newRefiner(r.prop, threshold, cfg.DurationSeconds)
-	r.stats.GridSlots = r.gset.Slots()
-	// The freeze phase's CSR snapshot is sized to the grid it compacts; the
-	// scan phase gets one private candidate buffer per worker.
-	r.snap = pl.GetSnapshot(r.gset.Slots(), len(sats))
+	if withGrid {
+		// The freeze phase's CSR snapshot is sized to the grid it compacts.
+		r.gset = pl.GetGridSet(int(slotFactor*float64(len(sats))), len(sats))
+		r.stats.GridSlots = r.gset.Slots()
+		r.snap = pl.GetSnapshot(r.gset.Slots(), len(sats))
+	}
+	// The scan phase gets one private candidate buffer per worker.
 	r.scanBufs = make([][]uint64, r.workers)
 	for w := range r.scanBufs {
 		r.scanBufs[w] = pl.GetKeyBuf(0)
@@ -536,6 +557,13 @@ func (r *run) generateCandidates(snap *lockfree.GridSnapshot, step uint32) error
 	if err := r.exec.ParallelForWorkers(r.ctx, snap.Slots(), r.scanWFn); err != nil {
 		return err
 	}
+	return r.mergeScanBufs()
+}
+
+// mergeScanBufs folds the per-worker candidate buffers into the shared pair
+// set, growing the set and re-merging on overflow (InsertPacked is
+// idempotent, so buffers whose keys partially landed re-merge safely).
+func (r *run) mergeScanBufs() error {
 	for {
 		r.scanFull.Store(false)
 		if err := r.exec.ParallelFor(r.ctx, len(r.scanBufs), r.mergeFn); err != nil {

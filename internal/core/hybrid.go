@@ -25,6 +25,14 @@ type Hybrid struct {
 // NewHybrid returns a hybrid detector with the given configuration.
 func NewHybrid(cfg Config) *Hybrid { return &Hybrid{cfg: cfg} }
 
+func init() {
+	Register(VariantHybrid, Descriptor{
+		Description: "grid pre-filter with coarse sampling plus the classical orbital filter chain (§III, default)",
+		Caps:        CapScreenDelta | CapDevice | CapSink | CapObserver,
+		New:         func(cfg Config) Detector { return NewHybrid(cfg) },
+	})
+}
+
 // DefaultHybridSeconds is the hybrid variant's default sampling step (the
 // paper's s_ps = 9 before any memory-driven reduction).
 const DefaultHybridSeconds = 9.0
@@ -65,7 +73,7 @@ func (d *Hybrid) screen(ctx context.Context, sats []propagation.Satellite, delta
 	if sps <= 0 {
 		sps = DefaultHybridSeconds
 	}
-	run, err := newRun(ctx, cfg, sats, sps)
+	run, err := newRun(ctx, cfg, sats, sps, true)
 	if err != nil {
 		return nil, err
 	}

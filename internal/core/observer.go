@@ -104,3 +104,15 @@ func (o ObserverFuncs) OnPhase(p PhaseInfo) {
 		o.Phase(p)
 	}
 }
+
+// EmitZeroFreeze reports a zero-elapsed freeze phase for detectors that
+// have no grid to compact (the legacy and sieve baselines' registry
+// adapters call it), keeping the Observer's phase set — and with it the
+// /v1/screen/stream event schema — identical across variants.
+func EmitZeroFreeze(obs Observer) {
+	if obs != nil {
+		// Runs on the single screening goroutine before any worker exists;
+		// there is no concurrent deliverer to serialise against yet.
+		obs.OnPhase(PhaseInfo{Phase: PhaseFreeze}) //lint:sinklock-ok pre-run single-goroutine emission, no concurrent deliverer exists
+	}
+}

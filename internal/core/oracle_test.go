@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -125,6 +126,16 @@ func TestDetectorsAgainstBruteForceOracle(t *testing.T) {
 			}
 			return det.Screen(s)
 		},
+	}
+	// Registry sweep: every registered detector in this test binary runs
+	// against the oracle automatically (the out-of-package baselines join
+	// via the external battery in registry_battery_test.go).
+	for _, d := range Variants() {
+		desc := d
+		detectors["registry-"+string(desc.Name)] = func(s []propagation.Satellite) (*Result, error) {
+			det := desc.New(Config{ThresholdKm: threshold, DurationSeconds: span, Workers: 2})
+			return det.ScreenContext(context.Background(), s)
+		}
 	}
 	for name, screen := range detectors {
 		res, err := screen(sats)

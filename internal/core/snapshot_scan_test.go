@@ -25,7 +25,7 @@ func scanEquivalenceRun(t *testing.T, half bool, n int) *run {
 		Workers:             2,
 		UseFullNeighborhood: !half,
 	}
-	r, err := newRun(context.Background(), cfg, sats, cfg.SecondsPerSample)
+	r, err := newRun(context.Background(), cfg, sats, cfg.SecondsPerSample, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestWarmStartRespectsExplicitSolver(t *testing.T) {
 	cfg := Config{ThresholdKm: 2, SecondsPerSample: 1, DurationSeconds: 5, Workers: 1}
 
 	var defaultProp propagation.Propagator = propagation.TwoBody{}
-	rDefault, err := newRun(context.Background(), cfg, sats, 1)
+	rDefault, err := newRun(context.Background(), cfg, sats, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestWarmStartRespectsExplicitSolver(t *testing.T) {
 
 	coarse := cfg
 	coarse.Propagator = propagation.TwoBody{Solver: coarseSolver{}}
-	rCoarse, err := newRun(context.Background(), coarse, sats, 1)
+	rCoarse, err := newRun(context.Background(), coarse, sats, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}

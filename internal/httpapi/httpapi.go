@@ -54,7 +54,7 @@ type ScreenRequest struct {
 	// …or Generate synthesises one server-side (exactly one of the two).
 	Generate *GenerateJSON `json:"generate,omitempty"`
 
-	Variant          string  `json:"variant,omitempty"` // grid | hybrid | legacy
+	Variant          string  `json:"variant,omitempty"` // a registered variant name; GET /v1/variants lists them
 	ThresholdKm      float64 `json:"threshold_km,omitempty"`
 	DurationSeconds  float64 `json:"duration_seconds"`
 	SecondsPerSample float64 `json:"seconds_per_sample,omitempty"`
@@ -176,6 +176,7 @@ func NewServer(cfg Config) *Handler {
 	h.mux.HandleFunc("GET /v1/version", h.version)
 	h.mux.HandleFunc("GET /v1/pool", h.poolStats)
 	h.mux.HandleFunc("GET /v1/runs", h.listRuns)
+	h.mux.HandleFunc("GET /v1/variants", h.listVariants)
 	h.mux.HandleFunc("POST /v1/screen", h.screen)
 	h.mux.HandleFunc("POST /v1/screen/stream", h.screenStream)
 	h.mux.HandleFunc("GET /v1/catalog", h.catalogInfo)
@@ -211,6 +212,39 @@ func (h *Handler) poolStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// VariantJSON is one GET /v1/variants entry: a registered screening variant
+// with its capability flags, generated from the detector registry.
+type VariantJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Baseline    bool   `json:"baseline,omitempty"`
+	Default     bool   `json:"default,omitempty"`
+	ScreenDelta bool   `json:"screen_delta"`
+	Device      bool   `json:"device"`
+	Sink        bool   `json:"sink"`
+	Observer    bool   `json:"observer"`
+}
+
+// listVariants reports the registered screening variants — the values the
+// screen endpoints accept in the `variant` field.
+func (h *Handler) listVariants(w http.ResponseWriter, _ *http.Request) {
+	ds := satconj.Variants()
+	out := make([]VariantJSON, len(ds))
+	for i, d := range ds {
+		out[i] = VariantJSON{
+			Name:        string(d.Name),
+			Description: d.Description,
+			Baseline:    d.Baseline,
+			Default:     d.Name == satconj.VariantHybrid,
+			ScreenDelta: d.Caps.Has(satconj.CapScreenDelta),
+			Device:      d.Caps.Has(satconj.CapDevice),
+			Sink:        d.Caps.Has(satconj.CapSink),
+			Observer:    d.Caps.Has(satconj.CapObserver),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // prepareScreen decodes, validates, and materialises a screening request.
 // On failure it writes the error reply and returns ok = false. Both the
 // blocking and the streaming endpoint go through it, so the two accept
@@ -239,6 +273,11 @@ func (h *Handler) prepareScreen(w http.ResponseWriter, r *http.Request) (req Scr
 	variant := satconj.Variant(strings.ToLower(req.Variant))
 	if req.Variant == "" {
 		variant = satconj.VariantHybrid
+	}
+	if _, found := satconj.LookupVariant(variant); !found {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: fmt.Sprintf(
+			"unknown variant %q (registered: %s)", req.Variant, strings.Join(satconj.VariantNames(), ", "))})
+		return req, nil, opts, false
 	}
 	opts = satconj.Options{
 		Variant:          variant,

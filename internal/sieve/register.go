@@ -1,0 +1,48 @@
+package sieve
+
+// Registry adapter: the smart-sieve baseline as a core.Detector. Importing
+// this package (a blank import suffices) makes "sieve" resolvable through
+// core.Lookup; see internal/legacy/register.go for the pattern.
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/propagation"
+)
+
+func init() {
+	core.Register(core.VariantSieve, core.Descriptor{
+		Description: "smart-sieve baseline: time-stepped all-on-all with Cartesian rejection cascades (§II)",
+		Caps:        0, // materialises results only: no streaming, no progress, no device
+		Baseline:    true,
+		New:         func(cfg core.Config) core.Detector { return &detector{cfg: cfg} },
+	})
+}
+
+// detector adapts the sieve screener to the core Detector contract.
+type detector struct {
+	cfg core.Config
+}
+
+func (d *detector) ScreenContext(ctx context.Context, sats []propagation.Satellite) (*core.Result, error) {
+	res, err := New(Config{
+		ThresholdKm:     d.cfg.ThresholdKm,
+		DurationSeconds: d.cfg.DurationSeconds,
+		StepSeconds:     d.cfg.SecondsPerSample,
+		Propagator:      d.cfg.Propagator,
+	}).ScreenContext(ctx, sats)
+	if err != nil {
+		return nil, err
+	}
+	core.EmitZeroFreeze(d.cfg.Observer)
+	return &core.Result{
+		Variant:      core.VariantSieve,
+		Backend:      "cpu-sequential",
+		Conjunctions: res.Conjunctions,
+		Stats: core.PhaseStats{
+			Detection:   res.Stats.Elapsed,
+			Refinements: int(res.Stats.Refinements),
+		},
+	}, nil
+}

@@ -5,13 +5,17 @@
 // The library screens large satellite populations (thousands to millions of
 // objects) for close approaches below a distance threshold over a time
 // window, using a uniform spatial grid backed by non-blocking atomic hash
-// maps. Four screening algorithms are provided:
+// maps. Screening algorithms are registered with the central detector
+// registry (see Variants for the live list); the built-in set is:
 //
 //   - VariantGrid — the paper's purely grid-based method: fine time
 //     sampling, small cells, every grid candidate refined directly.
 //   - VariantHybrid — the paper's hybrid method: coarse sampling, large
 //     cells, classical orbital filters between the grid and the refinement.
 //     Faster when memory allows; the default.
+//   - VariantAABB — the 4D AABB-tree method: one padded position-time box
+//     per satellite per step window, a bounding-volume hierarchy instead of
+//     the per-step grid.
 //   - VariantLegacy — the classical all-on-all filter-chain screener, the
 //     O(n²) baseline the paper compares against.
 //   - VariantSieve — the "smart sieve" time-stepped all-on-all baseline
@@ -37,19 +41,23 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/ccsds"
 	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/gpusim"
-	"repro/internal/legacy"
 	"repro/internal/orbit"
 	"repro/internal/population"
 	"repro/internal/propagation"
 	"repro/internal/risk"
-	"repro/internal/sieve"
 	"repro/internal/tle"
+
+	// The baseline screeners self-register with the core detector registry;
+	// nothing in this package names them directly any more.
+	_ "repro/internal/legacy"
+	_ "repro/internal/sieve"
 )
 
 // Re-exported element and object types.
@@ -95,16 +103,54 @@ const (
 	PhaseRefine   = core.PhaseRefine
 )
 
-// Screening variants.
+// Screening variants. The names are registry keys; Variants() enumerates
+// whatever is registered, including detectors added after this list was
+// written.
 const (
 	VariantGrid   = core.VariantGrid
 	VariantHybrid = core.VariantHybrid
+	// VariantAABB is the 4D AABB-tree detector: windowed position-time
+	// boxes under a bounding-volume hierarchy.
+	VariantAABB = core.VariantAABB
 	// VariantLegacy is the sequential all-on-all filter-chain baseline.
-	VariantLegacy Variant = "legacy"
+	VariantLegacy = core.VariantLegacy
 	// VariantSieve is the "smart sieve" baseline (Rodríguez et al. 2002):
 	// time-stepped all-on-all with cheap Cartesian rejection cascades.
-	VariantSieve Variant = "sieve"
+	VariantSieve = core.VariantSieve
 )
+
+// VariantDescriptor describes one registered screening variant: its name,
+// one-line description, capability flags, and whether it is an O(n²)
+// baseline. See core.Descriptor.
+type VariantDescriptor = core.Descriptor
+
+// Capability flags a variant descriptor can advertise.
+type Capability = core.Capability
+
+// The capability flags.
+const (
+	// CapScreenDelta: the variant accepts incremental re-screens
+	// (ScreenDelta).
+	CapScreenDelta = core.CapScreenDelta
+	// CapDevice: the variant runs on the simulated GPU backend
+	// (Options.Device).
+	CapDevice = core.CapDevice
+	// CapSink: the variant streams conjunctions to Options.Sink in flight.
+	CapSink = core.CapSink
+	// CapObserver: the variant reports step/phase progress to
+	// Options.Observer.
+	CapObserver = core.CapObserver
+)
+
+// Variants enumerates every registered screening variant, sorted by name.
+func Variants() []VariantDescriptor { return core.Variants() }
+
+// VariantNames returns the registered variant names, sorted — the list CLI
+// flag help and API error messages are generated from.
+func VariantNames() []string { return core.VariantNames() }
+
+// LookupVariant returns the descriptor registered under name.
+func LookupVariant(name Variant) (VariantDescriptor, bool) { return core.Lookup(name) }
 
 // Options configures Screen. Zero values select the paper's defaults
 // (2 km threshold, hybrid variant, 1 s/9 s sampling, all CPUs).
@@ -131,6 +177,10 @@ type Options struct {
 	// with its own grid (the paper's parallelisation factor p; grid and
 	// hybrid variants only). ≤1 runs steps sequentially.
 	ParallelSteps int
+	// WindowSteps sets the AABB variant's box window width W — sampling
+	// steps covered per tree build; ≤0 selects the default (16). Other
+	// variants ignore it.
+	WindowSteps int
 	// Propagator overrides the force model entirely (e.g. a
 	// NumericPropagator); it takes precedence over UseJ2.
 	Propagator Propagator
@@ -208,8 +258,8 @@ func Screen(sats []Satellite, o Options) (*Result, error) {
 // untouched objects are carried over from delta.Prior. With k changed
 // objects the refinement work scales with N·k instead of N², while the
 // result matches a full Screen of the same population (the delta
-// differential battery in internal/core pins this). Grid and hybrid
-// variants only.
+// differential battery in internal/core pins this). Variants advertising
+// CapScreenDelta only.
 func ScreenDelta(sats []Satellite, o Options, delta DeltaInput) (*Result, error) {
 	return ScreenDeltaContext(context.Background(), sats, o, delta)
 }
@@ -217,21 +267,18 @@ func ScreenDelta(sats []Satellite, o Options, delta DeltaInput) (*Result, error)
 // ScreenDeltaContext is ScreenDelta with cooperative cancellation, under
 // the same contract as ScreenContext.
 func ScreenDeltaContext(ctx context.Context, sats []Satellite, o Options, delta DeltaInput) (*Result, error) {
-	var prop propagation.Propagator = propagation.TwoBody{}
-	if o.UseJ2 {
-		prop = propagation.J2{}
+	desc, err := o.lookup()
+	if err != nil {
+		return nil, err
 	}
-	if o.Propagator != nil {
-		prop = o.Propagator
+	if !desc.Caps.Has(core.CapScreenDelta) {
+		return nil, fmt.Errorf("satconj: variant %q has no incremental mode", desc.Name)
 	}
-	switch o.Variant {
-	case VariantGrid:
-		return core.NewGrid(o.coreConfig(prop)).ScreenDelta(ctx, sats, delta)
-	case VariantHybrid, "":
-		return core.NewHybrid(o.coreConfig(prop)).ScreenDelta(ctx, sats, delta)
-	default:
-		return nil, fmt.Errorf("satconj: variant %q has no incremental mode (grid and hybrid only)", o.Variant)
+	det, ok := desc.New(o.coreConfig(o.propagator())).(core.DeltaDetector)
+	if !ok {
+		return nil, fmt.Errorf("satconj: variant %q advertises ScreenDelta but does not implement it", desc.Name)
 	}
+	return det.ScreenDelta(ctx, sats, delta)
 }
 
 // ScreenContext is Screen with cooperative cancellation: when ctx is
@@ -241,63 +288,42 @@ func ScreenDeltaContext(ctx context.Context, sats []Satellite, o Options, delta 
 // the streaming form of the API — conjunctions flow out while the run is
 // still in flight.
 func ScreenContext(ctx context.Context, sats []Satellite, o Options) (*Result, error) {
-	var prop propagation.Propagator = propagation.TwoBody{}
-	if o.UseJ2 {
-		prop = propagation.J2{}
+	desc, err := o.lookup()
+	if err != nil {
+		return nil, err
 	}
+	return desc.New(o.coreConfig(o.propagator())).ScreenContext(ctx, sats)
+}
+
+// lookup resolves the Options' variant through the registry (empty selects
+// the hybrid default) and rejects option/capability mismatches before any
+// detector is constructed.
+func (o Options) lookup() (VariantDescriptor, error) {
+	name := o.Variant
+	if name == "" {
+		name = VariantHybrid
+	}
+	desc, ok := core.Lookup(name)
+	if !ok {
+		return VariantDescriptor{}, fmt.Errorf("satconj: unknown variant %q (registered: %s)",
+			o.Variant, strings.Join(core.VariantNames(), ", "))
+	}
+	if o.Device != nil && !desc.Caps.Has(core.CapDevice) {
+		return VariantDescriptor{}, fmt.Errorf("satconj: the %s variant has no device backend", desc.Name)
+	}
+	return desc, nil
+}
+
+// propagator resolves the Options' force model: Propagator wins, then
+// UseJ2, then two-body motion.
+func (o Options) propagator() propagation.Propagator {
 	if o.Propagator != nil {
-		prop = o.Propagator
+		return o.Propagator
 	}
-	switch o.Variant {
-	case VariantLegacy:
-		if o.Device != nil {
-			return nil, fmt.Errorf("satconj: the legacy variant has no device backend")
-		}
-		res, err := legacy.New(legacy.Config{
-			ThresholdKm:     o.ThresholdKm,
-			DurationSeconds: o.DurationSeconds,
-			Propagator:      prop,
-			Workers:         o.Workers, // 0 keeps the paper's single-threaded baseline
-			Sink:            o.Sink,
-			Observer:        o.Observer,
-		}).ScreenContext(ctx, sats)
-		if err != nil {
-			return nil, err
-		}
-		emitZeroFreeze(o.Observer)
-		return convertLegacy(res), nil
-	case VariantSieve:
-		if o.Device != nil {
-			return nil, fmt.Errorf("satconj: the sieve variant has no device backend")
-		}
-		res, err := sieve.New(sieve.Config{
-			ThresholdKm:     o.ThresholdKm,
-			DurationSeconds: o.DurationSeconds,
-			StepSeconds:     o.SecondsPerSample,
-			Propagator:      prop,
-		}).ScreenContext(ctx, sats)
-		if err != nil {
-			return nil, err
-		}
-		emitZeroFreeze(o.Observer)
-		return &Result{
-			Variant:      VariantSieve,
-			Backend:      "cpu-sequential",
-			Conjunctions: res.Conjunctions,
-			Stats: core.PhaseStats{
-				Detection:   res.Stats.Elapsed,
-				Refinements: int(res.Stats.Refinements),
-			},
-		}, nil
-	case VariantGrid:
-		cfg := o.coreConfig(prop)
-		return core.NewGrid(cfg).ScreenContext(ctx, sats)
-	case VariantHybrid, "":
-		cfg := o.coreConfig(prop)
-		return core.NewHybrid(cfg).ScreenContext(ctx, sats)
-	default:
-		return nil, fmt.Errorf("satconj: unknown variant %q", o.Variant)
+	if o.UseJ2 {
+		return propagation.J2{}
 	}
+	return propagation.TwoBody{}
 }
 
 func (o Options) coreConfig(prop propagation.Propagator) core.Config {
@@ -309,6 +335,7 @@ func (o Options) coreConfig(prop propagation.Propagator) core.Config {
 		Propagator:       prop,
 		PairSlotHint:     o.PairSlotHint,
 		ParallelSteps:    o.ParallelSteps,
+		WindowSteps:      o.WindowSteps,
 		Uncertainty:      o.Uncertainty,
 		Sink:             o.Sink,
 		Observer:         o.Observer,
@@ -317,31 +344,6 @@ func (o Options) coreConfig(prop propagation.Propagator) core.Config {
 		cfg.Executor = o.Device
 	}
 	return cfg
-}
-
-// emitZeroFreeze reports a zero-elapsed freeze phase for the baselines that
-// have no grid to compact (legacy, sieve), keeping the Observer's phase set —
-// and with it the /v1/screen/stream event schema — identical across variants.
-func emitZeroFreeze(obs Observer) {
-	if obs != nil {
-		// Runs on the single screening goroutine before any worker exists;
-		// there is no concurrent deliverer to serialise against yet.
-		obs.OnPhase(core.PhaseInfo{Phase: core.PhaseFreeze}) //lint:sinklock-ok pre-run single-goroutine emission, no concurrent deliverer exists
-	}
-}
-
-// convertLegacy reshapes the legacy screener's result into the common form.
-func convertLegacy(r *legacy.Result) *Result {
-	return &Result{
-		Variant:      VariantLegacy,
-		Backend:      "cpu-sequential",
-		Conjunctions: r.Conjunctions,
-		Stats: core.PhaseStats{
-			Detection:   r.Stats.Elapsed,
-			Refinements: int(r.Stats.Refinements),
-			FilterStats: r.Stats.FilterStats,
-		},
-	}
 }
 
 // PopulationConfig configures the synthetic population generator (§V-A).

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Guard: the detector registry (internal/core/registry.go) is the single
+# source of truth for screening variants. Nothing outside internal/core may
+# hand-enumerate variants with a `case VariantX:` switch — dispatch,
+# validation, CLI help and benchmark sweeps must all derive from
+# core.Variants()/Lookup(). Test files are exempt: pinning explicit
+# variants is exactly what differential tests are for.
+#
+# Usage: scripts/check_variant_registry.sh  (run from the repo root)
+set -eu
+
+matches=$(grep -rn --include='*.go' \
+	--exclude='*_test.go' \
+	--exclude-dir=core \
+	-E 'case ([a-zA-Z]+\.)?Variant[A-Z]' . || true)
+
+if [ -n "$matches" ]; then
+	echo "variant hand-enumeration outside internal/core (use the detector registry):" >&2
+	echo "$matches" >&2
+	exit 1
+fi
+echo "variant registry guard: OK (no case-switch enumeration outside internal/core)"
