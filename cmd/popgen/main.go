@@ -36,6 +36,10 @@ func main() {
 		fragDV  = flag.Float64("frag-dv", 0.1, "fragmentation Δv standard deviation (km/s)")
 		fragAlt = flag.Float64("frag-alt", 780, "fragmentation parent altitude (km)")
 	)
+	// -count aliases -n: the large-catalogue workflows of EXPERIMENTS.md
+	// spell out `popgen -count 524288 -seed 1`, where "count" reads better
+	// than a bare "n".
+	flag.IntVar(n, "count", *n, "population size (alias for -n)")
 	flag.Parse()
 
 	sats, err := generate(*n, *seed, *walker, *wAlt, *wInc, *frags, *fragDV, *fragAlt)

@@ -20,7 +20,7 @@ import (
 // TestRegistryHasAllFamilies pins the full registry as seen through the
 // blank imports: all five detector families, each constructible.
 func TestRegistryHasAllFamilies(t *testing.T) {
-	want := []core.Variant{core.VariantAABB, core.VariantGrid, core.VariantHybrid, core.VariantLegacy, core.VariantSieve}
+	want := []core.Variant{core.VariantAABB, core.VariantGrid, core.VariantHybrid, core.VariantLegacy, core.VariantSharded, core.VariantSieve}
 	names := core.VariantNames()
 	if len(names) != len(want) {
 		t.Fatalf("registered variants = %v, want %v", names, want)

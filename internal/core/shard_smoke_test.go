@@ -1,0 +1,120 @@
+// The bounded-memory smoke test runs from an external package because it is
+// an end-to-end exercise of the public surface under a real GOMEMLIMIT, not
+// a unit test: `make shard-smoke` screens a 131072-object catalogue — whose
+// modelled unsharded grid footprint exceeds the configured limit — through
+// the sharded detector and requires it to finish. It is env-gated so the
+// ordinary test tiers never pay the ~half-minute, memory-squeezed run.
+package core_test
+
+import (
+	"math"
+	"os"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/model"
+	"repro/internal/orbit"
+	"repro/internal/propagation"
+)
+
+// smokePopulation is a deterministic catalogue spread over an 800 km radial
+// band so the partition produces balanced shards.
+func smokePopulation(n int) []propagation.Satellite {
+	rng := mathx.NewSplitMix64(99)
+	sats := make([]propagation.Satellite, n)
+	for i := range sats {
+		el := orbit.Elements{
+			SemiMajorAxis: rng.UniformRange(6800, 7600),
+			Eccentricity:  rng.UniformRange(0, 0.002),
+			Inclination:   rng.UniformRange(0.1, math.Pi-0.1),
+			RAAN:          rng.UniformRange(0, mathx.TwoPi),
+			ArgPerigee:    rng.UniformRange(0, mathx.TwoPi),
+			MeanAnomaly:   rng.UniformRange(0, mathx.TwoPi),
+		}
+		sats[i] = propagation.MustSatellite(int32(i), el)
+	}
+	return sats
+}
+
+// TestShardSmokeBoundedMemory completes a 131072-object sharded screen under
+// a GOMEMLIMIT the modelled unsharded grid does not fit — the memory-ceiling
+// claim of DESIGN.md §15 exercised for real. Run via `make shard-smoke`.
+func TestShardSmokeBoundedMemory(t *testing.T) {
+	if os.Getenv("SHARD_SMOKE") == "" {
+		t.Skip("set SHARD_SMOKE=1 and GOMEMLIMIT (see `make shard-smoke`) to run")
+	}
+	limit := debug.SetMemoryLimit(-1)
+	if limit <= 0 || limit == math.MaxInt64 {
+		t.Fatal("GOMEMLIMIT is unset; the smoke test is meaningless without a memory ceiling")
+	}
+	const (
+		n         = 131072
+		span      = 60.0
+		threshold = 2.0
+		sps       = 1.0
+	)
+	// Both scenarios hold the caller's catalogue; what the limit must exclude
+	// is catalogue + the unsharded grid's modelled screening structures.
+	catalogue := int64(n) * int64(unsafe.Sizeof(propagation.Satellite{}))
+	unsharded := catalogue + model.Planner{Model: model.PaperGrid}.GridFootprintBytes(n, span, threshold, sps)
+	if unsharded <= limit {
+		t.Fatalf("modelled unsharded peak %d B fits the %d B limit; raise n or lower GOMEMLIMIT", unsharded, limit)
+	}
+
+	sats := smokePopulation(n)
+
+	// Peak-heap sampler: GOMEMLIMIT keeps the runtime honest, the sampler
+	// makes the observed ceiling visible in the test log.
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		// runtime/metrics, not ReadMemStats: the sampler must not add
+		// stop-the-world pauses to the memory-squeezed run it observes.
+		sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				metrics.Read(sample)
+				if v := sample[0].Value; v.Kind() == metrics.KindUint64 && v.Uint64() > peak.Load() {
+					peak.Store(v.Uint64())
+				}
+			}
+		}
+	}()
+
+	cfg := core.Config{
+		ThresholdKm:      threshold,
+		SecondsPerSample: sps,
+		DurationSeconds:  span,
+		Workers:          2,
+		Shards:           8,
+		ShardConcurrency: 1, // peak = one shard's footprint
+	}
+	start := time.Now()
+	res, err := core.NewSharded(cfg, core.VariantGrid).Screen(sats)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shards < 2 {
+		t.Fatalf("Stats.Shards = %d, want ≥2", res.Stats.Shards)
+	}
+	if got := int64(peak.Load()); got > limit {
+		t.Errorf("peak heap %d B exceeded the %d B limit; the sharded ceiling claim does not hold", got, limit)
+	}
+	t.Logf("screened %d objects in %d shards under GOMEMLIMIT=%d MiB (modelled unsharded peak: %d MiB): %d conjunctions, peak heap %d MiB, wall %.1fs",
+		n, res.Stats.Shards, limit>>20, unsharded>>20, len(res.Conjunctions), peak.Load()>>20, time.Since(start).Seconds())
+}

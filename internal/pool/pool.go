@@ -26,7 +26,7 @@
 //     reset mid-run.
 //   - State and Pair buffers are returned with stale contents; State
 //     buffers are fully overwritten by the propagation phase before any
-//     read, Pair buffers are handed out with length 0.
+//     read, Pair and Satellite buffers are handed out with length 0.
 //   - ID-index maps are cleared on Put.
 //   - CSR snapshots, pair-key buffers and Kepler warm-start caches are
 //     returned with stale contents: Freeze overwrites the snapshot, key
@@ -76,6 +76,7 @@ type Pool struct {
 	pairSets  []*lockfree.PairSet
 	states    [][]propagation.State
 	pairBufs  [][]lockfree.Pair
+	satBufs   [][]propagation.Satellite
 	indexes   []map[int32]int32
 	snapshots []*lockfree.GridSnapshot
 	keyBufs   [][]uint64
@@ -126,6 +127,7 @@ func (p *Pool) Drain() {
 	p.pairSets = nil
 	p.states = nil
 	p.pairBufs = nil
+	p.satBufs = nil
 	p.indexes = nil
 	p.snapshots = nil
 	p.keyBufs = nil
@@ -336,6 +338,55 @@ func (p *Pool) PutPairBuf(b []lockfree.Pair) {
 	p.mu.Lock()
 	if len(p.pairBufs) < maxIdleBuffers {
 		p.pairBufs = append(p.pairBufs, b)
+	}
+	p.mu.Unlock()
+}
+
+// GetSatBuf returns a zero-length satellite buffer with capacity at least
+// capHint — the per-shard resident populations of a sharded screen. Like
+// pair buffers they are handed out empty and grow by append, so a warm pool
+// converges on the largest shard's size and streaming shard after shard
+// stops allocating.
+func (p *Pool) GetSatBuf(capHint int) []propagation.Satellite {
+	p.gets.Add(1)
+	if !p.disabled {
+		p.mu.Lock()
+		best := -1
+		for i, b := range p.satBufs {
+			if cap(b) < capHint || cap(b) > oversizeFactor*(capHint+1) {
+				continue
+			}
+			if best < 0 || cap(b) < cap(p.satBufs[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			b := p.satBufs[best]
+			last := len(p.satBufs) - 1
+			p.satBufs[best] = p.satBufs[last]
+			p.satBufs[last] = nil
+			p.satBufs = p.satBufs[:last]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return b[:0]
+		}
+		p.mu.Unlock()
+	}
+	return make([]propagation.Satellite, 0, capHint)
+}
+
+// PutSatBuf returns a satellite buffer to the pool. nil is ignored.
+func (p *Pool) PutSatBuf(b []propagation.Satellite) {
+	if b == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.disabled {
+		return
+	}
+	p.mu.Lock()
+	if len(p.satBufs) < maxIdleBuffers {
+		p.satBufs = append(p.satBufs, b)
 	}
 	p.mu.Unlock()
 }
