@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race fuzz bench bench-alloc store-bench perf-smoke shard-smoke
+.PHONY: all build test lint race fuzz bench bench-alloc store-bench perf-smoke shard-smoke load-smoke
 
 all: build lint test
 
@@ -26,9 +26,10 @@ lint:
 
 ## race: race-detector pass over the lock-free hot paths and the
 ## concurrent grid/batch workers that drive them, plus the band partition
-## backing the concurrent sharded screens.
+## backing the concurrent sharded screens and the read-side fan-out
+## (snapshot hub, SSE subscribers, admission, metrics registry).
 race:
-	$(GO) test -race ./internal/lockfree/... ./internal/core/... ./internal/band/...
+	$(GO) test -race ./internal/lockfree/... ./internal/core/... ./internal/band/... ./internal/serve/... ./internal/observability/... ./internal/httpapi/...
 
 ## shard-smoke: screen a 131072-object catalogue through the sharded
 ## detector under a GOMEMLIMIT the modelled unsharded grid does not fit
@@ -67,3 +68,9 @@ store-bench:
 ## reference deliberately with scripts/perf_smoke.sh -update.
 perf-smoke:
 	scripts/perf_smoke.sh
+
+## load-smoke: in-process conditional-read (304 revalidation) req/s
+## against the checked-in reference (scripts/load_smoke_ref.txt); fails
+## below ref/4. Refresh deliberately with scripts/load_smoke.sh -update.
+load-smoke:
+	scripts/load_smoke.sh

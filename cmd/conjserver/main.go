@@ -14,7 +14,10 @@
 //	POST /v1/screen         screen a population (JSON; see internal/httpapi)
 //	GET  /v1/catalog        versioned catalogue state
 //	POST /v1/catalog/delta  apply adds/updates/removes to the catalogue
-//	GET  /v1/conjunctions   query the persisted conjunction store
+//	GET  /v1/conjunctions   live conjunction snapshot (ETag/304) or run history
+//	GET  /v1/subscribe      per-object conjunction events (SSE, or mode=poll)
+//	GET  /healthz           readiness with snapshot-staleness gating
+//	GET  /metrics           Prometheus text exposition
 //
 // Screening requests draw their grid/pair/state structures from the shared
 // process pool (internal/pool), so back-to-back and concurrent requests
@@ -29,6 +32,15 @@
 // -store-dir set, every completed run is persisted to an append-only
 // crash-safe log, so /v1/conjunctions and the /v1/runs history survive
 // restarts.
+//
+// Read-side fan-out (DESIGN.md §16): every successful rescreen pass
+// publishes an immutable snapshot of the conjunction set, so cached
+// readers revalidate /v1/conjunctions with If-None-Match (304s never
+// touch screening state), /v1/subscribe pushes per-object conjunction
+// events over SSE with a long-poll fallback, /healthz lets load
+// balancers gate on snapshot staleness (-stale-after), /metrics exports
+// the whole operation in Prometheus text format, and -rate-limit-rps
+// bounds what any single client IP can ask of the read endpoints.
 //
 // Example:
 //
@@ -71,10 +83,33 @@ func main() {
 		rescreenVariant   = flag.String("rescreen-variant", "grid", "detector for background re-screens: grid | hybrid")
 		rescreenDuration  = flag.Float64("rescreen-duration", 3600, "screened window for background re-screens (seconds)")
 		rescreenThreshold = flag.Float64("rescreen-threshold", 0, "screening threshold for background re-screens (km, 0 = 2 km default)")
+
+		rateLimitRPS    = flag.Float64("rate-limit-rps", 0, "per-client sustained request rate on read endpoints (0 = unlimited)")
+		rateLimitBurst  = flag.Int("rate-limit-burst", 0, "per-client burst allowance (0 = max(8, 2x rate))")
+		maxSubscribers  = flag.Int("max-subscribers", 0, "concurrent /v1/subscribe consumers (0 = 1024 default)")
+		subscriberQueue = flag.Int("subscriber-queue", 0, "buffered events per subscriber before slow-consumer eviction (0 = 64 default)")
+		heartbeat       = flag.Duration("sse-heartbeat", 0, "SSE keepalive cadence (0 = 15s default)")
+		staleAfter      = flag.Duration("stale-after", 0, "/healthz answers 503 when the snapshot is older than this (0 = 3x rescreen interval; -1ns disables)")
 	)
 	flag.Parse()
 
-	cfg := httpapi.Config{MaxObjects: *maxObjects, MaxBody: *maxBody, RecentRuns: *recentRuns}
+	cfg := httpapi.Config{
+		MaxObjects:      *maxObjects,
+		MaxBody:         *maxBody,
+		RecentRuns:      *recentRuns,
+		RateLimit:       httpapi.RateLimit{PerClientRPS: *rateLimitRPS, Burst: *rateLimitBurst},
+		MaxSubscribers:  *maxSubscribers,
+		SubscriberQueue: *subscriberQueue,
+		Heartbeat:       *heartbeat,
+	}
+	// Staleness gating defaults to three missed rescreen intervals; a
+	// server that is not rescreening has no freshness contract to gate on.
+	switch {
+	case *staleAfter > 0:
+		cfg.StaleAfter = *staleAfter
+	case *staleAfter == 0 && *rescreenInterval > 0:
+		cfg.StaleAfter = 3 * *rescreenInterval
+	}
 
 	// The catalogue is always attached (it starts empty at version 1);
 	// continuous mode is just a matter of feeding it deltas.
@@ -153,6 +188,11 @@ func main() {
 	if rescreenDone != nil {
 		<-rescreenDone
 	}
+
+	// Close the fan-out hub before Shutdown: SSE streams never end on
+	// their own, so without this the drain deadline would always expire
+	// while subscribers are connected.
+	handler.Drain()
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

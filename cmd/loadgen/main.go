@@ -1,0 +1,529 @@
+// Command loadgen drives the read side of the conjunction server and
+// reports sustained request throughput and latency. It exists to prove the
+// central property of the snapshot design (DESIGN.md §16): cached
+// conditional reads are so cheap that a large reader fleet does not
+// perturb the screening loop.
+//
+// Two transports:
+//
+//   - In-process (default): requests go straight into the handler's
+//     ServeHTTP with a discarding ResponseWriter. This measures the
+//     handler path itself — routing, instrumentation, revalidation —
+//     without kernel sockets, which on small CI boxes would otherwise be
+//     the bottleneck long before the handler is.
+//   - HTTP (-url): requests go over real connections to a running
+//     conjserver, keepalives on.
+//
+// Modes: conditional (If-None-Match revalidation, the hot 304 path),
+// full (unconditional snapshot reads), healthz.
+//
+// With -rate the workers pace to an aggregate target instead of running
+// closed-loop. With -smoke it prints a single "load_smoke: <rps> req/s"
+// line for scripts/load_smoke.sh. With -capture <path> it runs the full
+// interference protocol — interleaved pairs of baseline and under-load
+// rescreen passes (pairing cancels host-level drift, the median pair is
+// the headline number), then a closed-loop peak read window — and writes
+// the result JSON (BENCH_PR10.json in CI captures).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	satconj "repro"
+	"repro/internal/catalog"
+	"repro/internal/httpapi"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "target base URL; empty = in-process handler")
+		mode     = flag.String("mode", "conditional", "request mix: conditional | full | healthz")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers")
+		duration = flag.Duration("duration", 3*time.Second, "measurement window")
+		rate     = flag.Float64("rate", 0, "aggregate target req/s (0 = closed loop)")
+		objects  = flag.Int("objects", 2000, "in-process read-catalogue population")
+		smoke    = flag.Bool("smoke", false, "print one 'load_smoke: <rps> req/s' line (in-process conditional reads)")
+		capture  = flag.String("capture", "", "write the full interference-protocol JSON to this path")
+
+		captureObjects = flag.Int("capture-rescreen-objects", 32000, "screened population for the capture protocol")
+		captureRate    = flag.Float64("capture-rate", 100000, "paced read rate during the capture protocol's mixed phase")
+		capturePasses  = flag.Int("capture-passes", 3, "rescreen passes per capture phase")
+	)
+	flag.Parse()
+
+	if *capture != "" {
+		if err := runCapture(*capture, *objects, *captureObjects, *workers, *duration, *captureRate, *capturePasses); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		return
+	}
+
+	target, err := newTarget(*url, *objects)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	res := runLoad(target, *mode, *workers, *rate, stopAfter(*duration))
+	if *smoke {
+		fmt.Printf("load_smoke: %.0f req/s\n", res.RPS)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+}
+
+// stopAfter returns a channel closed once d elapses.
+func stopAfter(d time.Duration) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		time.Sleep(d)
+		close(ch)
+	}()
+	return ch
+}
+
+// target abstracts the two transports behind one per-worker request func.
+type target struct {
+	handler *httpapi.Handler // in-process transport
+	baseURL string           // HTTP transport
+	client  *http.Client
+	etag    string // learned from a priming read; powers conditional mode
+}
+
+// newTarget builds the transport. The in-process variant assembles a
+// server with a generated catalogue and one published snapshot — the
+// steady state of a continuously rescreening deployment.
+func newTarget(url string, objects int) (*target, error) {
+	if url != "" {
+		t := &target{baseURL: url, client: &http.Client{Timeout: 30 * time.Second}}
+		t.etag = t.prime()
+		return t, nil
+	}
+	sats, err := satconj.GeneratePopulation(satconj.PopulationConfig{N: objects, Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.New(sats, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), catalog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	h := httpapi.NewServer(httpapi.Config{Catalog: cat})
+	rs := httpapi.NewRescreener(h, satconj.Options{
+		Variant:         satconj.VariantHybrid,
+		DurationSeconds: 600,
+	}, time.Hour, nil)
+	if !rs.RunOnce(context.Background()) || h.Snapshot() == nil {
+		return nil, fmt.Errorf("priming rescreen pass did not publish a snapshot")
+	}
+	t := &target{handler: h}
+	t.etag = t.prime()
+	return t, nil
+}
+
+// prime learns the current snapshot ETag with one unconditional read.
+func (t *target) prime() string {
+	if t.handler != nil {
+		w := &nullRW{hdr: make(http.Header)}
+		req, _ := http.NewRequest("GET", "/v1/conjunctions", nil)
+		req.RemoteAddr = "127.0.0.1:9"
+		t.handler.ServeHTTP(w, req)
+		return w.hdr.Get("ETag")
+	}
+	resp, err := t.client.Get(t.baseURL + "/v1/conjunctions")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	return resp.Header.Get("ETag")
+}
+
+// nullRW discards the response body; headers and status are retained so
+// the worker can verify what the handler answered.
+type nullRW struct {
+	hdr    http.Header
+	status int
+}
+
+func (w *nullRW) Header() http.Header { return w.hdr }
+func (w *nullRW) WriteHeader(c int)   { w.status = c }
+func (w *nullRW) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(b), nil
+}
+
+// workerState is one worker's reusable request machinery.
+type workerState struct {
+	t    *target
+	path string
+	cond bool
+	rw   nullRW
+	req  *http.Request
+}
+
+func newWorkerState(t *target, mode string, id int) *workerState {
+	s := &workerState{t: t}
+	switch mode {
+	case "conditional":
+		s.path, s.cond = "/v1/conjunctions", true
+	case "full":
+		s.path = "/v1/conjunctions"
+	case "healthz":
+		s.path = "/healthz"
+	default:
+		log.Fatalf("loadgen: unknown mode %q", mode)
+	}
+	if t.handler != nil {
+		s.rw.hdr = make(http.Header)
+		s.req, _ = http.NewRequest("GET", s.path, nil)
+		// Distinct per-worker addresses keep per-client admission honest
+		// when pointed at a rate-limited handler.
+		s.req.RemoteAddr = fmt.Sprintf("10.0.%d.%d:4000", id/250, id%250+1)
+		if s.cond && t.etag != "" {
+			s.req.Header.Set("If-None-Match", t.etag)
+		}
+	}
+	return s
+}
+
+// do issues one request, returning the status code (0 on transport error).
+func (s *workerState) do() int {
+	if s.t.handler != nil {
+		s.rw.status = 0
+		s.t.handler.ServeHTTP(&s.rw, s.req)
+		return s.rw.status
+	}
+	req, err := http.NewRequest("GET", s.t.baseURL+s.path, nil)
+	if err != nil {
+		return 0
+	}
+	if s.cond && s.t.etag != "" {
+		req.Header.Set("If-None-Match", s.t.etag)
+	}
+	resp, err := s.t.client.Do(req)
+	if err != nil {
+		return 0
+	}
+	_ = resp.Body.Close()
+	return resp.StatusCode
+}
+
+// loadResult is one measurement window's outcome.
+type loadResult struct {
+	Mode        string  `json:"mode"`
+	Transport   string  `json:"transport"`
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	Requests    uint64  `json:"requests"`
+	RPS         float64 `json:"rps"`
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+	NotModified uint64  `json:"not_modified"`
+	OK          uint64  `json:"ok"`
+	Errors      uint64  `json:"errors"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	MaxMicros   float64 `json:"max_us"`
+
+	latSamples []int64 // raw nanosecond samples, kept for segment merging
+}
+
+// finalize recomputes the derived fields from the raw counters/samples.
+func (r *loadResult) finalize() {
+	r.RPS = float64(r.Requests) / r.Seconds
+	if len(r.latSamples) == 0 {
+		return
+	}
+	sort.Slice(r.latSamples, func(i, j int) bool { return r.latSamples[i] < r.latSamples[j] })
+	r.P50Micros = float64(r.latSamples[len(r.latSamples)/2]) / 1e3
+	r.P99Micros = float64(r.latSamples[len(r.latSamples)*99/100]) / 1e3
+	r.MaxMicros = float64(r.latSamples[len(r.latSamples)-1]) / 1e3
+}
+
+// mergeLoads folds measurement segments (one per interleaved mixed pass)
+// into a single result covering the whole phase.
+func mergeLoads(segs []loadResult) loadResult {
+	if len(segs) == 0 {
+		return loadResult{}
+	}
+	m := segs[0]
+	for _, s := range segs[1:] {
+		m.Seconds += s.Seconds
+		m.Requests += s.Requests
+		m.NotModified += s.NotModified
+		m.OK += s.OK
+		m.Errors += s.Errors
+		m.latSamples = append(m.latSamples, s.latSamples...)
+	}
+	m.finalize()
+	return m
+}
+
+// latSampleEvery bounds latency-measurement overhead on the peak path:
+// two clock reads per sampled request, one request in every 64.
+const latSampleEvery = 64
+
+// runLoad runs the worker fleet until stop closes and aggregates. rate > 0
+// paces the aggregate request stream in 50 ms batches. The window is a
+// deliberate compromise: on a single-core box every wake of the reader
+// fleet preempts the screening loop and costs it a cache refill on top of
+// the requests themselves, so windows much finer than this measure the
+// scheduler rather than the read path, while much coarser windows turn
+// the "fleet" into one thundering herd per pass.
+func runLoad(t *target, mode string, workers int, rate float64, stop <-chan struct{}) loadResult {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		halt     atomic.Bool
+		busyNs   atomic.Int64
+		requests atomic.Uint64
+		n304     atomic.Uint64
+		n200     atomic.Uint64
+		nerr     atomic.Uint64
+		mu       sync.Mutex
+		samples  []int64
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := newWorkerState(t, mode, id)
+			local := make([]int64, 0, 1024)
+			record := func(status int, lat int64) {
+				requests.Add(1)
+				switch {
+				case status == http.StatusNotModified:
+					n304.Add(1)
+				case status >= 200 && status < 300:
+					n200.Add(1)
+				default:
+					nerr.Add(1)
+				}
+				if lat >= 0 {
+					local = append(local, lat)
+				}
+			}
+			doOne := func(i int) {
+				if i%latSampleEvery == 0 {
+					t0 := time.Now()
+					st := s.do()
+					record(st, time.Since(t0).Nanoseconds())
+				} else {
+					record(s.do(), -1)
+				}
+			}
+			if rate <= 0 {
+				for i := 0; !halt.Load(); i++ {
+					doOne(i)
+				}
+			} else {
+				perWorker := rate / float64(workers)
+				const batchWindow = 50 * time.Millisecond
+				batch := int(perWorker * batchWindow.Seconds())
+				if batch < 1 {
+					batch = 1
+				}
+				next := time.Now()
+				for i := 0; !halt.Load(); {
+					bt0 := time.Now()
+					for b := 0; b < batch && !halt.Load(); b++ {
+						doOne(i)
+						i++
+					}
+					busyNs.Add(time.Since(bt0).Nanoseconds())
+					next = next.Add(batchWindow)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					} else if -d > time.Second {
+						next = time.Now() // hopelessly behind: shed the backlog
+					}
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(i)
+	}
+	<-stop
+	halt.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := loadResult{
+		Mode:        mode,
+		Transport:   "inproc",
+		Workers:     workers,
+		Seconds:     elapsed,
+		Requests:    requests.Load(),
+		RPS:         float64(requests.Load()) / elapsed,
+		TargetRPS:   rate,
+		NotModified: n304.Load(),
+		OK:          n200.Load(),
+		Errors:      nerr.Load(),
+	}
+	if t.handler == nil {
+		res.Transport = "http"
+	}
+	res.latSamples = samples
+	res.finalize()
+	if rate > 0 {
+		log.Printf("loadgen: paced busy %.3fs over %.3fs (%.1f%% cpu, %.2fus/req)",
+			float64(busyNs.Load())/1e9, elapsed, 100*float64(busyNs.Load())/1e9/elapsed,
+			float64(busyNs.Load())/1e3/float64(requests.Load()))
+	}
+	return res
+}
+
+// captureReport is the BENCH_PR10.json shape: does a reader fleet at the
+// target rate measurably slow the screening loop?
+type captureReport struct {
+	GoVersion           string  `json:"go_version"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	ReadCatalogObjects  int     `json:"read_catalog_objects"`
+	SnapshotConjunction int     `json:"snapshot_conjunctions"`
+	RescreenObjects     int     `json:"rescreen_objects"`
+	RescreenVariant     string  `json:"rescreen_variant"`
+	RescreenWindowSec   float64 `json:"rescreen_window_seconds"`
+
+	Peak loadResult `json:"peak_reads"`
+
+	BaselinePassSeconds []float64 `json:"baseline_rescreen_seconds"`
+	BaselineMeanSeconds float64   `json:"baseline_rescreen_mean_seconds"`
+
+	Mixed            loadResult `json:"mixed_reads"`
+	MixedPassSeconds []float64  `json:"mixed_rescreen_seconds"`
+	MixedMeanSeconds float64    `json:"mixed_rescreen_mean_seconds"`
+
+	// PairDegradationPct is each mixed pass relative to its paired baseline;
+	// DegradationPct is the median pair, which is robust to the occasional
+	// pass that lands on a host-level stall.
+	PairDegradationPct []float64 `json:"pair_degradation_pct"`
+	DegradationPct     float64   `json:"rescreen_degradation_pct"`
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// runCapture measures interleaved pairs of (baseline rescreen pass, rescreen
+// pass under paced reads), then a closed-loop peak read window, and writes
+// the comparison. The peak phase runs last so its allocation burst cannot
+// leak GC debt into the pass timings.
+func runCapture(path string, readObjects, screenObjects, workers int, duration time.Duration, pacedRate float64, passes int) error {
+	target, err := newTarget("", readObjects)
+	if err != nil {
+		return err
+	}
+	screenSats, err := satconj.GeneratePopulation(satconj.PopulationConfig{N: screenObjects, Seed: 7})
+	if err != nil {
+		return err
+	}
+	const window = 600.0
+	opts := satconj.Options{Variant: satconj.VariantHybrid, DurationSeconds: window}
+	pass := func() (float64, error) {
+		t0 := time.Now()
+		_, err := satconj.ScreenContext(context.Background(), screenSats, opts)
+		return time.Since(t0).Seconds(), err
+	}
+	rep := captureReport{
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		ReadCatalogObjects: readObjects,
+		RescreenObjects:    screenObjects,
+		RescreenVariant:    string(satconj.VariantHybrid),
+		RescreenWindowSec:  window,
+	}
+	if snap := target.handler.Snapshot(); snap != nil {
+		rep.SnapshotConjunction = len(snap.Conjunctions)
+	}
+
+	// Warm-up pass: page in the screening structures so the baseline does
+	// not pay one-time costs the mixed phase would not.
+	if _, err := pass(); err != nil {
+		return err
+	}
+	// Baseline and mixed passes are interleaved pairwise: pass-time drift on
+	// a shared box (frequency scaling, neighbours) swings screening passes by
+	// 10-20% over tens of seconds, far more than the effect under test, and
+	// pairing cancels it — each mixed pass is compared against a baseline
+	// measured moments earlier under the same machine conditions.
+	var segs []loadResult
+	for i := 0; i < passes; i++ {
+		s, err := pass()
+		if err != nil {
+			return fmt.Errorf("baseline pass %d: %w", i, err)
+		}
+		log.Printf("loadgen: baseline pass %d: %.3fs", i, s)
+		rep.BaselinePassSeconds = append(rep.BaselinePassSeconds, s)
+		rep.BaselineMeanSeconds += s / float64(passes)
+
+		var (
+			seg     loadResult
+			readers sync.WaitGroup
+			stopCh  = make(chan struct{})
+		)
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			seg = runLoad(target, "conditional", workers, pacedRate, stopCh)
+		}()
+		time.Sleep(200 * time.Millisecond) // let pacing settle before measuring
+		s, err = pass()
+		close(stopCh)
+		readers.Wait()
+		if err != nil {
+			return fmt.Errorf("mixed pass %d: %w", i, err)
+		}
+		log.Printf("loadgen: mixed pass %d: %.3fs (readers %.0f req/s)", i, s, seg.RPS)
+		rep.MixedPassSeconds = append(rep.MixedPassSeconds, s)
+		rep.MixedMeanSeconds += s / float64(passes)
+		pair := 100 * (s - rep.BaselinePassSeconds[i]) / rep.BaselinePassSeconds[i]
+		rep.PairDegradationPct = append(rep.PairDegradationPct, pair)
+		segs = append(segs, seg)
+	}
+	rep.Mixed = mergeLoads(segs)
+	rep.DegradationPct = median(rep.PairDegradationPct)
+	log.Printf("loadgen: baseline %.3fs, mixed %.3fs under %.0f req/s -> %.1f%% median pair degradation",
+		rep.BaselineMeanSeconds, rep.MixedMeanSeconds, rep.Mixed.RPS, rep.DegradationPct)
+
+	runtime.GC()
+	log.Printf("loadgen: peak closed-loop conditional reads for %v", duration)
+	rep.Peak = runLoad(target, "conditional", workers, 0, stopAfter(duration))
+	log.Printf("loadgen: peak %.0f req/s (%d reqs, %d not-modified, %d errors)",
+		rep.Peak.RPS, rep.Peak.Requests, rep.Peak.NotModified, rep.Peak.Errors)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

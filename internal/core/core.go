@@ -261,6 +261,28 @@ func (p PhaseStats) Total() time.Duration {
 	return p.Insertion + p.Freeze + p.Detection + p.Refine + p.Coplanarity
 }
 
+// PhaseSecond pairs a phase name with its accumulated wall seconds — the
+// publication form of PhaseStats consumed by exporters (the /metrics
+// rescreen counters aggregate these across passes).
+type PhaseSecond struct {
+	Name    string
+	Seconds float64
+}
+
+// PhaseSeconds returns the per-phase wall-time breakdown in execution
+// order, under the stats' own names (insertion/freeze/detection/refine/
+// filter — the §V-C1 columns, not the Observer phase enum, which folds
+// detection into the sample phase).
+func (p PhaseStats) PhaseSeconds() []PhaseSecond {
+	return []PhaseSecond{
+		{Name: "insertion", Seconds: p.Insertion.Seconds()},
+		{Name: "freeze", Seconds: p.Freeze.Seconds()},
+		{Name: "detection", Seconds: p.Detection.Seconds()},
+		{Name: "refine", Seconds: p.Refine.Seconds()},
+		{Name: "filter", Seconds: p.Coplanarity.Seconds()},
+	}
+}
+
 // Result is the outcome of a screening run.
 type Result struct {
 	Variant      Variant

@@ -1,0 +1,51 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestAllocsPer304 pins the allocation budget of the revalidation hot
+// path. The load harness sustains ~100k conditional reads per second on
+// one core alongside the screening loop; that only holds while a 304
+// costs at most the one statusWriter escape — a regression here (header
+// formatting, per-request maps) shows up as rescreen interference long
+// before it shows up in any latency histogram.
+func TestAllocsPer304(t *testing.T) {
+	h := NewServer(Config{MaxObjects: 100000})
+	now := time.Now().UTC()
+	h.hub.Publish(serve.NewSnapshot(1, now, now, 10, false, nil))
+	req := httptest.NewRequest("GET", "/v1/conjunctions", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	etag := rec.Header().Get("Etag")
+	if etag == "" {
+		t.Fatal("priming read returned no ETag")
+	}
+	req2 := httptest.NewRequest("GET", "/v1/conjunctions", nil)
+	req2.Header.Set("If-None-Match", etag)
+	w := &nullRec{h: make(http.Header, 8)}
+	n := testing.AllocsPerRun(1000, func() {
+		w.code = 0
+		h.ServeHTTP(w, req2)
+	})
+	if w.code != http.StatusNotModified {
+		t.Fatalf("status %d, want 304", w.code)
+	}
+	if n > 2 {
+		t.Errorf("allocs per 304 request = %.1f, want <= 2", n)
+	}
+}
+
+type nullRec struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullRec) Header() http.Header         { return w.h }
+func (w *nullRec) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullRec) WriteHeader(c int)           { w.code = c }

@@ -213,10 +213,18 @@ func TestRescreenerDeltaChain(t *testing.T) {
 
 func TestConjunctionsQueryValidation(t *testing.T) {
 	h, _, _ := newContinuousHandler(t, t.TempDir())
-	for _, q := range []string{"run=x", "object=foo", "tca_min=a", "tca_max=b", "max_pca_km=c", "limit=0", "limit=-2"} {
+	// Malformed filter values are a bad request.
+	for _, q := range []string{"run=x", "object=foo", "tca_min=a", "tca_max=b", "max_pca_km=c"} {
 		rec := doJSON(t, h, "GET", "/v1/conjunctions?"+q, nil)
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", q, rec.Code)
+		}
+	}
+	// Unservable paging values are unprocessable.
+	for _, q := range []string{"limit=0", "limit=-2", "limit=1000001", "limit=x", "offset=-1", "offset=z", "since_version=-3"} {
+		rec := doJSON(t, h, "GET", "/v1/conjunctions?"+q, nil)
+		if rec.Code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422", q, rec.Code)
 		}
 	}
 }

@@ -12,12 +12,15 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	satconj "repro"
 	"repro/internal/catalog"
+	"repro/internal/observability"
 	"repro/internal/orbit"
 	"repro/internal/pool"
+	"repro/internal/serve"
 	"repro/internal/store"
 )
 
@@ -125,7 +128,27 @@ type Handler struct {
 	// store, when non-nil, persists every completed screening run and backs
 	// GET /v1/conjunctions; run history then survives restarts.
 	store *store.Store
+	// hub owns snapshot publication and subscription fan-out (always
+	// non-nil; an idle hub on stateless servers costs nothing).
+	hub *serve.Hub
+	// admission rate-limits read endpoints per client; nil = unlimited.
+	admission *serve.Admission
+	// metrics is the /metrics exporter state.
+	metrics *serverMetrics
+	// heartbeat paces SSE keepalive comments.
+	heartbeat time.Duration
+	// staleAfter gates /healthz readiness on snapshot age; 0 disables.
+	staleAfter time.Duration
+	// lastRescreenNano is the wall time of the last successful rescreen
+	// pass (UnixNano), 0 before the first.
+	lastRescreenNano atomic.Int64
+	// hdrCache holds the current snapshot's rendered response headers.
+	hdrCache atomic.Pointer[snapHeaders]
 }
+
+// RateLimit re-exports the admission configuration so callers wiring a
+// server need only this package.
+type RateLimit = serve.RateLimit
 
 // Config assembles a Handler for continuous operation. The zero value is a
 // valid stateless configuration (no catalogue, no persistence).
@@ -142,6 +165,20 @@ type Config struct {
 	Catalog *catalog.Catalog
 	// Store enables persistence and GET /v1/conjunctions.
 	Store *store.Store
+	// RateLimit configures per-client admission on read endpoints; the
+	// zero value disables rate limiting.
+	RateLimit serve.RateLimit
+	// MaxSubscribers caps concurrent /v1/subscribe consumers (≤ 0 selects
+	// 1024).
+	MaxSubscribers int
+	// SubscriberQueue sets each subscriber's event buffer; a consumer that
+	// lets it overflow is evicted (≤ 0 selects 64).
+	SubscriberQueue int
+	// Heartbeat paces SSE keepalive comments (≤ 0 selects 15s).
+	Heartbeat time.Duration
+	// StaleAfter makes /healthz answer 503 once the published snapshot is
+	// older than this (or absent); 0 disables staleness gating.
+	StaleAfter time.Duration
 }
 
 // New returns a ready-to-serve stateless handler. maxObjects ≤ 0 selects
@@ -164,6 +201,9 @@ func NewServer(cfg Config) *Handler {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = defaultMaxBody
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
 	h := &Handler{
 		mux:        http.NewServeMux(),
 		maxObjects: cfg.MaxObjects,
@@ -171,17 +211,31 @@ func NewServer(cfg Config) *Handler {
 		runs:       newRunRegistry(cfg.RecentRuns),
 		catalog:    cfg.Catalog,
 		store:      cfg.Store,
+		metrics:    newServerMetrics(observability.NewRegistry()),
+		admission:  serve.NewAdmission(cfg.RateLimit),
+		heartbeat:  cfg.Heartbeat,
+		staleAfter: cfg.StaleAfter,
 	}
-	h.mux.HandleFunc("GET /v1/health", h.health)
-	h.mux.HandleFunc("GET /v1/version", h.version)
-	h.mux.HandleFunc("GET /v1/pool", h.poolStats)
-	h.mux.HandleFunc("GET /v1/runs", h.listRuns)
-	h.mux.HandleFunc("GET /v1/variants", h.listVariants)
-	h.mux.HandleFunc("POST /v1/screen", h.screen)
-	h.mux.HandleFunc("POST /v1/screen/stream", h.screenStream)
-	h.mux.HandleFunc("GET /v1/catalog", h.catalogInfo)
-	h.mux.HandleFunc("POST /v1/catalog/delta", h.catalogDelta)
-	h.mux.HandleFunc("GET /v1/conjunctions", h.queryConjunctions)
+	h.hub = serve.NewHub(serve.HubConfig{
+		MaxSubscribers: cfg.MaxSubscribers,
+		Queue:          cfg.SubscriberQueue,
+		OnDeliver:      func(lag time.Duration) { h.metrics.fanoutLag.Observe(lag.Seconds()) },
+	})
+	h.metrics.bindCollectors(h)
+
+	h.route("GET /v1/health", false, h.health)
+	h.route("GET /v1/version", false, h.version)
+	h.route("GET /v1/pool", false, h.poolStats)
+	h.route("GET /v1/runs", true, h.listRuns)
+	h.route("GET /v1/variants", false, h.listVariants)
+	h.route("POST /v1/screen", false, h.screen)
+	h.route("POST /v1/screen/stream", false, h.screenStream)
+	h.route("GET /v1/catalog", true, h.catalogInfo)
+	h.route("POST /v1/catalog/delta", false, h.catalogDelta)
+	h.route("GET /v1/conjunctions", true, h.queryConjunctions)
+	h.route("GET /v1/subscribe", true, h.subscribe)
+	h.route("GET /healthz", false, h.healthz)
+	h.mux.Handle("GET /metrics", h.metrics.reg.Handler())
 	return h
 }
 

@@ -33,6 +33,11 @@ type Rescreener struct {
 	lastEpoch   time.Time
 	lastConj    []satconj.Conjunction
 	hasPrior    bool // a successful pass has produced lastConj (possibly empty)
+
+	// testBeforeScreen, when set, runs after a pass decides to screen and
+	// before the screen starts — a test seam for racing deltas/nudges
+	// against an in-flight pass. Never set in production.
+	testBeforeScreen func()
 }
 
 // NewRescreener wires a rescreener to h (which must have a catalogue;
@@ -94,7 +99,12 @@ func (s *Rescreener) pass(ctx context.Context) bool {
 	rev, dirty, removed, covered := s.h.catalog.DirtySince(catalog.Version(s.lastVersion))
 	version := uint64(rev.Version())
 	if version == s.lastVersion {
-		return false // catalogue unchanged since the last successful pass
+		// Catalogue unchanged since the last successful pass: the published
+		// snapshot is current, so the check itself is the freshness signal —
+		// without this an idle catalogue would age a healthy replica into
+		// /healthz staleness.
+		s.h.markRescreenChecked()
+		return false
 	}
 	// Incremental only when the dirty journal covers (lastVersion, latest],
 	// there is a prior result to extend, and the epoch has not moved (a
@@ -110,6 +120,9 @@ func (s *Rescreener) pass(ctx context.Context) bool {
 	mode := "full"
 	if incremental {
 		mode = "delta"
+	}
+	if s.testBeforeScreen != nil {
+		s.testBeforeScreen()
 	}
 	entry := s.h.runs.start("rescreen-"+variant+"-"+mode, len(sats))
 	opts := s.opts
@@ -132,6 +145,7 @@ func (s *Rescreener) pass(ctx context.Context) bool {
 		// Chain state stays put: the next pass retries the same window (or a
 		// wider one if more deltas land meanwhile).
 		s.h.runs.finish(entry, status, -1, err.Error())
+		s.h.metrics.rescreenFailures.Inc()
 		s.logf("rescreen: version %d failed after %.2fs: %v", version, time.Since(start).Seconds(), err)
 		return false
 	}
@@ -140,6 +154,7 @@ func (s *Rescreener) pass(ctx context.Context) bool {
 	s.lastEpoch = rev.Epoch()
 	s.lastConj = res.Conjunctions
 	s.hasPrior = true
+	s.h.publishRescreen(version, rev.Epoch(), len(sats), incremental, res, start)
 
 	if s.h.store != nil {
 		if _, serr := s.h.store.Append(store.Run{

@@ -1,0 +1,456 @@
+// Package observability is a dependency-free metrics layer with Prometheus
+// text exposition (format version 0.0.4). The screening service needs its
+// operational state — snapshot freshness, fan-out pressure, rescreen phase
+// latencies, pool balance, HTTP traffic — scrapeable by any Prometheus-
+// compatible collector, and the container bakes in no client library, so
+// the counters, gauges and histograms here are built directly on
+// sync/atomic. Every series costs one or two atomic words on the hot path;
+// collection work (sorting, formatting) happens only at scrape time.
+//
+// Concurrency: all metric write methods (Inc, Add, Set, Observe) are safe
+// from any goroutine and lock-free. Registration is mutex-guarded and
+// expected at wiring time; registering the same (name, labels) twice, or
+// one name under two types, panics — like a duplicate detector
+// registration, it is a programming error worth failing loudly on.
+package observability
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's Prometheus type.
+type Kind string
+
+// The exposition types emitted in # TYPE lines.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Labels are constant key=value pairs attached to one series at
+// registration time. Dynamic label dimensions go through CounterVec /
+// HistogramVec instead.
+type Labels map[string]string
+
+// collector renders one series' sample lines at scrape time.
+type collector interface {
+	collect(w *errWriter, name, labels string)
+}
+
+// series is one registered (labels, metric) pair inside a family.
+type series struct {
+	labels string // rendered inner label block: `a="b",c="d"` ("" when unlabelled)
+	c      collector
+}
+
+// family groups every series sharing a metric name; HELP and TYPE are
+// emitted once per family.
+type family struct {
+	name, help string
+	kind       Kind
+	series     []series
+}
+
+// Registry holds metric families and renders them in deterministic order
+// (families by name, series by label block).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted lazily at exposition
+	sorted   bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds one series, creating its family on first use.
+func (r *Registry) register(name, help string, kind Kind, labels string, c collector) {
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		r.sorted = false
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("observability: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	for _, s := range f.series {
+		if s.labels == labels {
+			panic(fmt.Sprintf("observability: duplicate series %s{%s}", name, labels))
+		}
+	}
+	f.series = append(f.series, series{labels: labels, c: c})
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+}
+
+// NewCounter registers a monotonically increasing series. Counters carry
+// float64 values so cumulative-seconds counters (phase wall time) share the
+// type with event counts.
+func (r *Registry) NewCounter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(name, help, KindCounter, renderLabels(labels), c)
+	return c
+}
+
+// NewGauge registers a settable series.
+func (r *Registry) NewGauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, KindGauge, renderLabels(labels), g)
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is read by fn at scrape time —
+// the shape for state owned elsewhere (pool stats, subscriber counts,
+// snapshot age). fn must be safe to call from any goroutine.
+func (r *Registry) NewGaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, KindGauge, renderLabels(labels), gaugeFunc(fn))
+}
+
+// NewCounterFunc registers a counter whose cumulative value is read by fn
+// at scrape time — for monotone totals owned elsewhere (hub delivery
+// counts, pool get/put totals). fn must be monotone and goroutine-safe.
+func (r *Registry) NewCounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, KindCounter, renderLabels(labels), gaugeFunc(fn))
+}
+
+// NewHistogram registers a cumulative histogram over the given upper
+// bounds, which must be sorted strictly increasing; the +Inf bucket is
+// implicit. A nil buckets slice selects DefBuckets.
+func (r *Registry) NewHistogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(name, help, KindHistogram, renderLabels(labels), h)
+	return h
+}
+
+// NewCounterVec registers a counter family with dynamic label dimensions;
+// children are created on first With and live for the registry's lifetime.
+func (r *Registry) NewCounterVec(name, help string, labelNames []string) *CounterVec {
+	mustValidName(name)
+	for _, n := range labelNames {
+		mustValidName(n)
+	}
+	return &CounterVec{reg: r, name: name, help: help, labelNames: labelNames, children: make(map[string]*Counter)}
+}
+
+// writeAll renders every family in the text exposition format.
+func (r *Registry) writeAll(w *errWriter) {
+	r.mu.Lock()
+	if !r.sorted {
+		sort.Strings(r.names)
+		r.sorted = true
+	}
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			w.printf("# HELP %s %s\n", f.name, f.help)
+		}
+		w.printf("# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			s.c.collect(w, f.name, s.labels)
+		}
+	}
+}
+
+// Expose writes the full exposition to w, returning the first write error.
+func (r *Registry) Expose(w io.Writer) error {
+	ew := &errWriter{w: w}
+	r.writeAll(ew)
+	return ew.err
+}
+
+// Handler serves the exposition over HTTP (the GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A write error means the scraper left; nothing to do about it.
+		_ = r.Expose(w)
+	})
+}
+
+// Counter is a lock-free monotonically increasing float64.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must not be negative.
+func (c *Counter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) collect(w *errWriter, name, labels string) {
+	w.sample(name, "", labels, c.Value())
+}
+
+// Gauge is a lock-free settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by v (negative deltas allowed).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) collect(w *errWriter, name, labels string) {
+	w.sample(name, "", labels, g.Value())
+}
+
+// gaugeFunc adapts a scrape-time callback to the collector interface.
+type gaugeFunc func() float64
+
+func (f gaugeFunc) collect(w *errWriter, name, labels string) {
+	w.sample(name, "", labels, f())
+}
+
+// DefBuckets spans 5 µs to 10 s — wide enough for both a cached 304
+// revalidation (microseconds) and a full rescreen pass (seconds).
+var DefBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations index a
+// per-bucket atomic counter; the cumulative view is computed at scrape
+// time, so Observe stays a binary search plus two atomic adds.
+type Histogram struct {
+	bounds []float64 // upper bounds, sorted increasing; +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("observability: histogram buckets must be sorted strictly increasing")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the trailing slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) collect(w *errWriter, name, labels string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		w.sample(name+"_bucket", formatFloat(b), labels, float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	w.sample(name+"_bucket", "+Inf", labels, float64(cum))
+	w.sample(name+"_sum", "", labels, h.Sum())
+	w.sample(name+"_count", "", labels, float64(cum))
+}
+
+// CounterVec is a counter family keyed by dynamic label values.
+type CounterVec struct {
+	reg        *Registry
+	name, help string
+	labelNames []string
+	mu         sync.Mutex
+	children   map[string]*Counter
+}
+
+// With returns (creating on first use) the child counter for the given
+// label values, which must match the vec's label names positionally.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("observability: %s wants %d label values, got %d", v.name, len(v.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	c, ok := v.children[key]
+	v.mu.Unlock()
+	if ok {
+		return c
+	}
+	labels := make(Labels, len(values))
+	for i, n := range v.labelNames {
+		labels[n] = values[i]
+	}
+	v.mu.Lock()
+	if c, ok = v.children[key]; !ok {
+		c = &Counter{}
+		v.children[key] = c
+		v.mu.Unlock() // register takes the registry lock; don't hold both
+		v.reg.register(v.name, v.help, KindCounter, renderLabels(labels), c)
+		return c
+	}
+	v.mu.Unlock()
+	return c
+}
+
+// errWriter latches the first write error so exposition code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+	buf []byte
+}
+
+func (w *errWriter) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(w.w, format, args...); err != nil {
+		w.err = err
+	}
+}
+
+// sample writes one `name{labels,le="bound"} value` line. le is the
+// histogram bucket bound ("" for plain samples); labels is the rendered
+// inner block.
+func (w *errWriter) sample(name, le, labels string, v float64) {
+	if w.err != nil {
+		return
+	}
+	b := w.buf[:0]
+	b = append(b, name...)
+	if labels != "" || le != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		if le != "" {
+			if labels != "" {
+				b = append(b, ',')
+			}
+			b = append(b, `le="`...)
+			b = append(b, le...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	b = append(b, '\n')
+	w.buf = b
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+	}
+}
+
+// formatFloat renders a bucket bound the way Prometheus clients do.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels produces the sorted inner label block `a="b",c="d"`.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		mustValidName(k)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(ls[k]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes backslash, double quote and newline per the text
+// format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// mustValidName enforces the Prometheus metric/label name charset.
+func mustValidName(name string) {
+	if name == "" {
+		panic("observability: empty metric or label name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("observability: invalid metric or label name %q", name))
+		}
+	}
+}

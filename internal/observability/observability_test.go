@@ -1,0 +1,191 @@
+package observability
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.Expose(&sb); err != nil {
+		t.Fatalf("Expose: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_events_total", "Events.", nil)
+	g := r.NewGauge("test_depth", "Depth.", Labels{"shard": "a"})
+	c.Inc()
+	c.Add(2.5)
+	g.Set(-3)
+	g.Add(1)
+
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP test_events_total Events.\n",
+		"# TYPE test_events_total counter\n",
+		"test_events_total 3.5\n",
+		"# TYPE test_depth gauge\n",
+		`test_depth{shard="a"} -2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_total", "", nil)
+	r.NewCounter("aa_total", "", nil)
+	r.NewGauge("mm", "", Labels{"x": "2"})
+	r.NewGauge("mm", "", Labels{"x": "1"})
+	out := expose(t, r)
+	if out != expose(t, r) {
+		t.Fatal("exposition is not stable across scrapes")
+	}
+	aa := strings.Index(out, "aa_total")
+	mm1 := strings.Index(out, `mm{x="1"}`)
+	mm2 := strings.Index(out, `mm{x="2"}`)
+	zz := strings.Index(out, "zz_total")
+	if aa < 0 || mm1 < 0 || mm2 < 0 || zz < 0 {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if !(aa < mm1 && mm1 < mm2 && mm2 < zz) {
+		t.Fatalf("series out of order: aa=%d mm1=%d mm2=%d zz=%d", aa, mm1, mm2, zz)
+	}
+}
+
+func TestGaugeFuncAndCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.NewGaugeFunc("test_live", "", nil, func() float64 { return v })
+	out := expose(t, r)
+	if !strings.Contains(out, "test_live 1\n") {
+		t.Fatalf("want test_live 1, got:\n%s", out)
+	}
+	v = 42
+	if out = expose(t, r); !strings.Contains(out, "test_live 42\n") {
+		t.Fatalf("gauge func not re-read at scrape:\n%s", out)
+	}
+	r.NewCounterFunc("test_cum_total", "", nil, func() float64 { return 7 })
+	if out = expose(t, r); !strings.Contains(out, "# TYPE test_cum_total counter\ntest_cum_total 7\n") {
+		t.Fatalf("counter func exposition wrong:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_lat_seconds", "", nil, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-105.65) > 1e-9 {
+		t.Fatalf("Sum = %g, want 105.65", h.Sum())
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		`test_lat_seconds_bucket{le="0.1"} 2` + "\n", // cumulative: 0.05 and the boundary-inclusive 0.1
+		`test_lat_seconds_bucket{le="1"} 3` + "\n",
+		`test_lat_seconds_bucket{le="10"} 4` + "\n",
+		`test_lat_seconds_bucket{le="+Inf"} 5` + "\n",
+		"test_lat_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_req_total", "", []string{"route", "code"})
+	v.With("/a", "200").Inc()
+	v.With("/a", "200").Inc()
+	v.With("/a", "404").Inc()
+	if c1, c2 := v.With("/a", "200"), v.With("/a", "200"); c1 != c2 {
+		t.Fatal("With must return the same child for the same values")
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		`test_req_total{code="200",route="/a"} 2` + "\n",
+		`test_req_total{code="404",route="/a"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "", nil)
+	h := r.NewHistogram("test_h", "", nil, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %g, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestDuplicateAndConflictPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("dup_total", "", nil)
+	mustPanic("duplicate series", func() { r.NewCounter("dup_total", "", nil) })
+	mustPanic("type conflict", func() { r.NewGauge("dup_total", "", Labels{"a": "b"}) })
+	mustPanic("bad name", func() { r.NewCounter("bad-name", "", nil) })
+	mustPanic("unsorted buckets", func() { r.NewHistogram("h", "", nil, []float64{1, 1}) })
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("test_esc", "", Labels{"p": "a\"b\\c\nd"})
+	out := expose(t, r)
+	if !strings.Contains(out, `test_esc{p="a\"b\\c\nd"} 0`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_total", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1\n") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}

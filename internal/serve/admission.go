@@ -1,0 +1,132 @@
+package serve
+
+// Admission control for the read side: one token bucket per client key
+// (the HTTP layer keys by client IP). The goal is not fairness between
+// well-behaved readers — cached 304 revalidations are nearly free — but
+// bounding what a single misbehaving client can make the server do, and
+// giving load balancers a crisp 429 + Retry-After signal instead of
+// latency collapse.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RateLimit configures per-client admission. The zero value disables it.
+type RateLimit struct {
+	// PerClientRPS is the sustained request rate allowed per client key;
+	// <= 0 disables admission control entirely.
+	PerClientRPS float64
+	// Burst is the bucket depth (<= 0 selects max(8, 2×PerClientRPS)).
+	Burst int
+	// MaxClients bounds the tracked bucket map (<= 0 selects 4096); past
+	// it, stale buckets are evicted — a client returning after eviction
+	// simply starts with a full bucket again.
+	MaxClients int
+}
+
+// Enabled reports whether the configuration actually limits anything.
+func (rl RateLimit) Enabled() bool { return rl.PerClientRPS > 0 }
+
+func (rl RateLimit) burst() float64 {
+	if rl.Burst > 0 {
+		return float64(rl.Burst)
+	}
+	return math.Max(8, 2*rl.PerClientRPS)
+}
+
+func (rl RateLimit) maxClients() int {
+	if rl.MaxClients > 0 {
+		return rl.MaxClients
+	}
+	return 4096
+}
+
+// bucket is one client's token state; guarded by Admission.mu.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Admission is the shared token-bucket table.
+type Admission struct {
+	cfg      RateLimit
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	rejected atomic.Uint64
+}
+
+// NewAdmission returns an admission controller for cfg; nil when cfg is
+// disabled, so callers can gate on `a != nil`.
+func NewAdmission(cfg RateLimit) *Admission {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Admission{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Allow consumes one token for key, reporting whether the request is
+// admitted and, if not, how long the client should wait before retrying.
+func (a *Admission) Allow(key string) (ok bool, retryAfter time.Duration) {
+	return a.allowAt(key, time.Now())
+}
+
+// allowAt is Allow with an injectable clock (tests).
+func (a *Admission) allowAt(key string, now time.Time) (bool, time.Duration) {
+	burst := a.cfg.burst()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[key]
+	if b == nil {
+		if len(a.buckets) >= a.cfg.maxClients() {
+			a.evictStaleLocked(now)
+		}
+		b = &bucket{tokens: burst, last: now}
+		a.buckets[key] = b
+	} else {
+		b.tokens = math.Min(burst, b.tokens+now.Sub(b.last).Seconds()*a.cfg.PerClientRPS)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	a.rejected.Add(1)
+	wait := (1 - b.tokens) / a.cfg.PerClientRPS
+	return false, time.Duration(math.Ceil(wait)) * time.Second
+}
+
+// evictStaleLocked trims the bucket map when the client cap is hit:
+// first everything idle past ten seconds (a full-at-idle client's bucket
+// is indistinguishable from a fresh one), then — if every bucket is hot —
+// the single stalest entry so insertion always succeeds.
+func (a *Admission) evictStaleLocked(now time.Time) {
+	var oldestKey string
+	var oldest time.Time
+	dropped := false
+	for k, b := range a.buckets {
+		if now.Sub(b.last) > 10*time.Second {
+			delete(a.buckets, k)
+			dropped = true
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if !dropped && oldestKey != "" {
+		delete(a.buckets, oldestKey)
+	}
+}
+
+// Rejected returns the count of denied requests.
+func (a *Admission) Rejected() uint64 { return a.rejected.Load() }
+
+// Clients returns the tracked bucket count.
+func (a *Admission) Clients() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Load smoke gate: in-process conditional reads (the 304 revalidation hot
+# path) must not run more than LOAD_SMOKE_FACTOR times slower than the
+# checked-in req/s reference (scripts/load_smoke_ref.txt, captured on the
+# recorded environment).
+#
+# The 4x default absorbs machine-to-machine variance between the recording
+# host and CI runners while still catching step-change regressions — a
+# per-request allocation creeping into the revalidation path, header
+# formatting moving back inside the request loop, an accidental snapshot
+# copy per read. Refresh the reference deliberately (and note why in the
+# commit) with:
+#
+#   scripts/load_smoke.sh -update
+set -eu
+cd "$(dirname "$0")/.."
+
+ref_file=scripts/load_smoke_ref.txt
+factor="${LOAD_SMOKE_FACTOR:-4}"
+out=$(go run ./cmd/loadgen -smoke -duration "${LOAD_SMOKE_DURATION:-2s}" -objects 1000)
+echo "$out"
+rps=$(echo "$out" | awk '/^load_smoke:/ { printf "%.0f", $2 }')
+if [ -z "$rps" ]; then
+	echo "load_smoke: loadgen produced no req/s figure" >&2
+	exit 2
+fi
+
+if [ "${1:-}" = "-update" ]; then
+	{
+		echo "# In-process conditional-read req/s reference for scripts/load_smoke.sh."
+		echo "# Captured $(go env GOOS)/$(go env GOARCH); refresh with scripts/load_smoke.sh -update."
+		echo "$rps"
+	} >"$ref_file"
+	echo "load_smoke: reference updated to $rps req/s"
+	exit 0
+fi
+
+ref=$(grep -v '^#' "$ref_file" | head -1)
+floor=$((ref / factor))
+echo "load_smoke: measured $rps req/s, reference $ref req/s, floor ref/${factor} = $floor"
+if [ "$rps" -lt "$floor" ]; then
+	echo "load_smoke: FAIL — conditional-read throughput regressed past 1/${factor} of the reference" >&2
+	exit 1
+fi
+echo "load_smoke: OK"
