@@ -11,6 +11,7 @@ package httpapi
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -92,6 +93,12 @@ type conjQuery struct {
 	offset int
 	since  uint64
 	hasRun bool
+	// Presence flags for the float filters: the snapshot path honours any
+	// supplied bound (tca_max=0 means "TCA at most 0", not "no bound"),
+	// unlike store.Query's zero-means-unbounded convention.
+	hasTCAMin bool
+	hasTCAMax bool
+	hasMaxPCA bool
 }
 
 // parseConjQuery validates every query parameter up front. Malformed
@@ -119,22 +126,25 @@ func (h *Handler) parseConjQuery(w http.ResponseWriter, r *http.Request) (conjQu
 		q.Object, q.HasObject = int32(id), true
 	}
 	if s := vals.Get("tca_min"); s != "" {
-		if q.TCAMin, err = strconv.ParseFloat(s, 64); err != nil {
+		if q.TCAMin, err = strconv.ParseFloat(s, 64); err != nil || math.IsNaN(q.TCAMin) {
 			badQueryParam(w, "tca_min", s)
 			return q, false
 		}
+		q.hasTCAMin = true
 	}
 	if s := vals.Get("tca_max"); s != "" {
-		if q.TCAMax, err = strconv.ParseFloat(s, 64); err != nil {
+		if q.TCAMax, err = strconv.ParseFloat(s, 64); err != nil || math.IsNaN(q.TCAMax) {
 			badQueryParam(w, "tca_max", s)
 			return q, false
 		}
+		q.hasTCAMax = true
 	}
 	if s := vals.Get("max_pca_km"); s != "" {
-		if q.MaxPCAKm, err = strconv.ParseFloat(s, 64); err != nil {
+		if q.MaxPCAKm, err = strconv.ParseFloat(s, 64); err != nil || math.IsNaN(q.MaxPCAKm) {
 			badQueryParam(w, "max_pca_km", s)
 			return q, false
 		}
+		q.hasMaxPCA = true
 	}
 	if s := vals.Get("limit"); s != "" {
 		n, perr := strconv.Atoi(s)
@@ -252,13 +262,13 @@ func (h *Handler) serveSnapshot(w http.ResponseWriter, r *http.Request, snap *se
 	if q.HasObject {
 		f.Object, f.HasObject = q.Object, true
 	}
-	if q.MaxPCAKm > 0 {
+	if q.hasMaxPCA {
 		f.MaxPCAKm, f.HasMaxPCA = q.MaxPCAKm, true
 	}
-	if q.TCAMin > 0 {
+	if q.hasTCAMin {
 		f.TCAMin, f.HasTCAMin = q.TCAMin, true
 	}
-	if q.TCAMax > 0 {
+	if q.hasTCAMax {
 		f.TCAMax, f.HasTCAMax = q.TCAMax, true
 	}
 	page, total := snap.Select(f, q.offset, q.Limit)

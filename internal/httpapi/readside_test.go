@@ -339,6 +339,83 @@ func TestLongPoll(t *testing.T) {
 	}
 }
 
+// TestPollAndReplayTruncationReported pins the over-cap contract: a
+// long-poll whose object has more matches than the per-reply cap reports
+// total and truncated instead of silently cutting the set, and the SSE
+// replay=1 bootstrap announces the cut with a replay-truncated event.
+func TestPollAndReplayTruncationReported(t *testing.T) {
+	h := NewServer(Config{})
+	n := defaultQueryLimit + 5
+	conjs := make([]core.Conjunction, n)
+	for i := range conjs {
+		conjs[i] = core.Conjunction{A: 1, B: int32(i + 2), TCA: float64(i), PCA: 0.5}
+	}
+	h.hub.Publish(serve.NewSnapshot(2, time.Now(), time.Now(), n+1, false, conjs))
+
+	rec := doJSON(t, h, "GET", "/v1/subscribe?object=1&mode=poll", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("poll status %d", rec.Code)
+	}
+	var pr PollResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Matches) != defaultQueryLimit || pr.Total != n || !pr.Truncated {
+		t.Fatalf("capped poll: %d matches, total %d, truncated %v", len(pr.Matches), pr.Total, pr.Truncated)
+	}
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/subscribe?object=1&replay=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := sseEvents(t, resp.Body)
+	waitEvent(t, events, "hello", 5*time.Second)
+	waitEvent(t, events, "replay-truncated", 10*time.Second)
+}
+
+// TestSnapshotFilterBoundsHonoured pins presence-based filter semantics
+// on the snapshot path: any supplied tca_min/tca_max/max_pca_km bound is
+// applied — zero and negative values included — rather than zero meaning
+// "no filter", and NaN bounds are malformed instead of silently inert.
+func TestSnapshotFilterBoundsHonoured(t *testing.T) {
+	h := NewServer(Config{})
+	h.hub.Publish(serve.NewSnapshot(3, time.Now(), time.Now(), 4, false, []core.Conjunction{
+		{A: 1, B: 2, TCA: 10, PCA: 0.5},
+		{A: 1, B: 3, TCA: 20, PCA: 1.5},
+	}))
+	for _, tc := range []struct {
+		query string
+		total int
+	}{
+		{"tca_max=0", 0},
+		{"max_pca_km=0", 0},
+		{"tca_min=-5", 2},
+		{"tca_min=15", 1},
+		{"tca_max=15", 1},
+		{"max_pca_km=1", 1},
+	} {
+		rec := doJSON(t, h, "GET", "/v1/conjunctions?"+tc.query, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%q: status %d: %s", tc.query, rec.Code, rec.Body.String())
+		}
+		var resp SnapshotConjunctionsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Total != tc.total {
+			t.Errorf("%q: total %d, want %d", tc.query, resp.Total, tc.total)
+		}
+	}
+	for _, q := range []string{"tca_min=NaN", "tca_max=nan", "max_pca_km=NaN"} {
+		if rec := doJSON(t, h, "GET", "/v1/conjunctions?"+q, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("%q: status %d, want 400", q, rec.Code)
+		}
+	}
+}
+
 // sseClient reads one SSE stream line-by-line, forwarding "event:" names.
 func sseEvents(t *testing.T, body io.Reader) <-chan string {
 	t.Helper()

@@ -6,10 +6,12 @@ package httpapi
 //   - SSE (default): a text/event-stream held open for the life of the
 //     subscription. Events: "hello" (current snapshot version, once),
 //     "conjunction" (one per fresh conjunction involving the object),
-//     "evicted" (the hub dropped this consumer for falling behind — the
-//     client should reconnect and re-read /v1/conjunctions), and "bye"
-//     (the server is draining). Keepalive comments flow between events so
-//     idle connections survive proxies.
+//     "replay-truncated" (the replay=1 bootstrap hit its cap; page
+//     /v1/conjunctions for the rest), "evicted" (the hub dropped this
+//     consumer for falling behind — the client should reconnect and
+//     re-read /v1/conjunctions), and "bye" (the server is draining).
+//     Keepalive comments flow between events so idle connections survive
+//     proxies.
 //   - Long-poll (mode=poll): blocks until the snapshot version exceeds
 //     since_version (or timeout_seconds passes), then returns the
 //     object's current matches — the fallback for clients that cannot
@@ -39,6 +41,15 @@ type SubscribeEventJSON struct {
 	PCA     float64 `json:"pca_km"`
 }
 
+// ReplayTruncatedJSON is the data payload of the SSE "replay-truncated"
+// event: the replay=1 bootstrap stopped at Sent of Total matches, so the
+// client should page GET /v1/conjunctions?object=... for the remainder.
+type ReplayTruncatedJSON struct {
+	Version uint64 `json:"version"`
+	Sent    int    `json:"sent"`
+	Total   int    `json:"total"`
+}
+
 // SubscribeHelloJSON is the data payload of the SSE "hello" event.
 type SubscribeHelloJSON struct {
 	Version     uint64  `json:"version"` // 0 before the first rescreen pass
@@ -47,12 +58,17 @@ type SubscribeHelloJSON struct {
 	Subscribers int     `json:"subscribers"`
 }
 
-// PollResponse is the long-poll (mode=poll) reply.
+// PollResponse is the long-poll (mode=poll) reply. Matches is capped at
+// defaultQueryLimit; Total always carries the full match count and
+// Truncated flags a partial set, so a client with more matches than the
+// cap knows to page through /v1/conjunctions (limit/offset) instead.
 type PollResponse struct {
 	Version    uint64            `json:"version"`
 	ProducedAt *time.Time        `json:"produced_at,omitempty"`
 	TimedOut   bool              `json:"timed_out,omitempty"`
 	Draining   bool              `json:"draining,omitempty"`
+	Total      int               `json:"total"`
+	Truncated  bool              `json:"truncated,omitempty"`
 	Matches    []ConjunctionJSON `json:"matches"`
 }
 
@@ -150,10 +166,12 @@ func (h *Handler) longPoll(w http.ResponseWriter, r *http.Request, p subscribePa
 			if p.maxKm > 0 {
 				f.MaxPCAKm, f.HasMaxPCA = p.maxKm, true
 			}
-			page, _ := snap.Select(f, 0, defaultQueryLimit)
+			page, total := snap.Select(f, 0, defaultQueryLimit)
 			for _, c := range page {
 				out.Matches = append(out.Matches, ConjunctionJSON{A: c.A, B: c.B, TCA: c.TCA, PCA: c.PCA})
 			}
+			out.Total = total
+			out.Truncated = total > len(page)
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -200,10 +218,16 @@ func (h *Handler) sse(w http.ResponseWriter, r *http.Request, p subscribeParams)
 		if p.maxKm > 0 {
 			f.MaxPCAKm, f.HasMaxPCA = p.maxKm, true
 		}
-		page, _ := snap.Select(f, 0, defaultQueryLimit)
+		page, total := snap.Select(f, 0, defaultQueryLimit)
 		for _, c := range page {
 			ev := SubscribeEventJSON{Version: snap.Version, Object: p.object, A: c.A, B: c.B, TCA: c.TCA, PCA: c.PCA}
 			if !writeSSE(w, rc, "conjunction", snap.Version, ev) {
+				return
+			}
+		}
+		if total > len(page) {
+			tr := ReplayTruncatedJSON{Version: snap.Version, Sent: len(page), Total: total}
+			if !writeSSE(w, rc, "replay-truncated", snap.Version, tr) {
 				return
 			}
 		}

@@ -94,8 +94,16 @@ func (r *Registry) register(name, help string, kind Kind, labels string, c colle
 			panic(fmt.Sprintf("observability: duplicate series %s{%s}", name, labels))
 		}
 	}
-	f.series = append(f.series, series{labels: labels, c: c})
-	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+	// Copy-on-write: replace the slice rather than appending/sorting in
+	// place, so a scrape that captured the old slice header under the lock
+	// never observes a mutation. Registration happens on the request hot
+	// path (first new status code per route), so /metrics can be
+	// concurrent with it.
+	ns := make([]series, len(f.series), len(f.series)+1)
+	copy(ns, f.series)
+	ns = append(ns, series{labels: labels, c: c})
+	sort.Slice(ns, func(i, j int) bool { return ns[i].labels < ns[j].labels })
+	f.series = ns
 }
 
 // NewCounter registers a monotonically increasing series. Counters carry
@@ -147,20 +155,33 @@ func (r *Registry) NewCounterVec(name, help string, labelNames []string) *Counte
 	return &CounterVec{reg: r, name: name, help: help, labelNames: labelNames, children: make(map[string]*Counter)}
 }
 
-// writeAll renders every family in the text exposition format.
+// famView is an immutable capture of one family taken under the registry
+// lock; series is a slice header whose elements register never mutates
+// (it replaces the slice wholesale), so rendering outside the lock is
+// race-free.
+type famView struct {
+	name, help string
+	kind       Kind
+	series     []series
+}
+
+// writeAll renders every family in the text exposition format. The
+// registry state (names, family metadata, series slice headers) is
+// captured under the lock; only collector value reads — atomics and
+// scrape-time callbacks — happen outside it.
 func (r *Registry) writeAll(w *errWriter) {
 	r.mu.Lock()
 	if !r.sorted {
 		sort.Strings(r.names)
 		r.sorted = true
 	}
-	names := append([]string(nil), r.names...)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
+	views := make([]famView, len(r.names))
+	for i, n := range r.names {
+		f := r.families[n]
+		views[i] = famView{name: f.name, help: f.help, kind: f.kind, series: f.series}
 	}
 	r.mu.Unlock()
-	for _, f := range fams {
+	for _, f := range views {
 		if f.help != "" {
 			w.printf("# HELP %s %s\n", f.name, f.help)
 		}

@@ -3,6 +3,7 @@ package observability
 import (
 	"math"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -147,6 +148,54 @@ func TestConcurrentWrites(t *testing.T) {
 	}
 	if h.Count() != 8000 {
 		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestConcurrentRegisterAndExpose races lazy CounterVec child creation —
+// registration on the request hot path (first new status code per route)
+// — against concurrent scrapes. The seed appended to and re-sorted the
+// family's series slice in place while writeAll iterated it; under -race
+// this test catches any regression to that.
+func TestConcurrentRegisterAndExpose(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_req_total", "", []string{"code"})
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			var sb strings.Builder
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sb.Reset()
+					if err := r.Expose(&sb); err != nil {
+						t.Errorf("Expose: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var regs sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		regs.Add(1)
+		go func(g int) {
+			defer regs.Done()
+			for i := 0; i < 100; i++ {
+				v.With(strconv.Itoa(g*100 + i)).Inc()
+			}
+		}(g)
+	}
+	regs.Wait()
+	close(stop)
+	scrapes.Wait()
+	out := expose(t, r)
+	if n := strings.Count(out, "test_req_total{"); n != 400 {
+		t.Fatalf("exposed %d children, want 400", n)
 	}
 }
 

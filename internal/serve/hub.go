@@ -140,13 +140,13 @@ func (h *Hub) Changed() <-chan struct{} {
 // Publish installs next as the current snapshot, wakes long-poll waiters,
 // and pushes the conjunctions that are new relative to the previous
 // snapshot to matching subscribers. Call from one goroutine (the
-// rescreen loop); readers need no coordination with it.
+// rescreen loop); readers need no coordination with it. After Close,
+// Publish is a no-op: Current() never advances on a drained hub.
 func (h *Hub) Publish(next *Snapshot) {
 	if next == nil {
 		return
 	}
-	prev := h.cur.Swap(next)
-	h.published.Add(1)
+	prev := h.cur.Load()
 
 	// The diff key set is the previous snapshot's conjunctions by value:
 	// a retained prior conjunction is carried bit-identically through the
@@ -171,8 +171,12 @@ func (h *Hub) Publish(next *Snapshot) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
+		// A publish racing Close delivers nothing and must not advance
+		// Current() on a drained hub, so the closed check precedes the swap.
 		return
 	}
+	h.cur.Store(next)
+	h.published.Add(1)
 	close(h.changed)
 	h.changed = make(chan struct{})
 	if h.nsubs == 0 {
@@ -280,9 +284,6 @@ func (h *Hub) Close() {
 // the long-poll handler turns both into an empty-but-valid reply.
 func (h *Hub) WaitVersion(ctx context.Context, since uint64) (*Snapshot, error) {
 	for {
-		if snap := h.Current(); snap != nil && snap.Version > since {
-			return snap, nil
-		}
 		h.mu.Lock()
 		if h.closed {
 			h.mu.Unlock()
@@ -290,6 +291,15 @@ func (h *Hub) WaitVersion(ctx context.Context, since uint64) (*Snapshot, error) 
 		}
 		ch := h.changed
 		h.mu.Unlock()
+		// Check Current only after capturing ch: Publish installs the
+		// snapshot and closes changed inside one critical section, so a
+		// publish that lands after this load closes the ch we hold (the
+		// select wakes), and one that landed before is visible here —
+		// no window where a satisfying snapshot exists but the wait
+		// sleeps until the next publish.
+		if snap := h.Current(); snap != nil && snap.Version > since {
+			return snap, nil
+		}
 		select {
 		case <-ctx.Done():
 			return h.Current(), ctx.Err()

@@ -249,6 +249,47 @@ func TestWaitVersionUnblocksOnClose(t *testing.T) {
 	}
 }
 
+// TestPublishAfterCloseIsNoOp pins the drain contract: a publish racing
+// Close must not install its snapshot as Current() on a drained hub, and
+// the published counter must not credit a publish that delivered nothing.
+func TestPublishAfterCloseIsNoOp(t *testing.T) {
+	h := NewHub(HubConfig{})
+	h.Publish(snap(1, conj(1, 2, 10, 1)))
+	h.Close()
+	h.Publish(snap(2, conj(1, 2, 10, 1), conj(3, 4, 20, 1)))
+	if got := h.Current(); got == nil || got.Version != 1 {
+		t.Fatalf("Current after post-close publish = %+v, want v1", got)
+	}
+	if s := h.Stats(); s.Published != 1 {
+		t.Fatalf("Published = %d, want 1", s.Published)
+	}
+}
+
+// TestWaitVersionNoLostWakeup hammers the window between a waiter reading
+// the current snapshot and parking on the publish signal. A publish that
+// lands entirely inside that window must still be observed: each wait
+// below races exactly one satisfying publish, and there is no later
+// publish to ride, so a lost wakeup sleeps until the context deadline and
+// fails the test.
+func TestWaitVersionNoLostWakeup(t *testing.T) {
+	h := NewHub(HubConfig{})
+	defer h.Close()
+	for v := uint64(1); v <= 300; v++ {
+		published := make(chan struct{})
+		go func() {
+			h.Publish(snap(v, conj(1, 2, 10, 1)))
+			close(published)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		got, err := h.WaitVersion(ctx, v-1)
+		cancel()
+		if err != nil || got == nil || got.Version < v {
+			t.Fatalf("WaitVersion(%d) = %v, %v", v-1, got, err)
+		}
+		<-published
+	}
+}
+
 func TestAdmissionTokenBucket(t *testing.T) {
 	a := NewAdmission(RateLimit{PerClientRPS: 2, Burst: 4})
 	now := time.Unix(1000, 0)
